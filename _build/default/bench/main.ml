@@ -1,0 +1,247 @@
+(* The benchmark harness: regenerates every evaluation artifact of the paper
+   (Table 1 and the section 7.2-7.4 claims; the paper's evaluation section
+   has no figures), preceded by bechamel microbenchmarks of the pipeline
+   stages and followed by ablation studies of the design choices called out
+   in DESIGN.md.
+
+   Set LRCEX_BENCH_QUICK=1 for a fast smoke run (reduced budgets). *)
+
+open Cfg
+open Automaton
+
+let quick = Sys.getenv_opt "LRCEX_BENCH_QUICK" <> None
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: one Test.make per pipeline stage, and one for
+   the end-to-end Table 1 unit of work. *)
+
+let conflict_and_path lalr c =
+  let path =
+    Option.get
+      (Cex.Lookahead_path.find lalr ~conflict_state:c.Conflict.state
+         ~reduce_item:(Conflict.reduce_item c) ~terminal:c.Conflict.terminal)
+  in
+  (c, path)
+
+let microbenchmarks () =
+  let open Bechamel in
+  let figure1 = Corpus.grammar (Corpus.find "figure1") in
+  let java = Spec_parser.grammar_of_string_exn Corpus.Java_grammars.base in
+  let figure1_table = Parse_table.build figure1 in
+  let figure1_lalr = Parse_table.lalr figure1_table in
+  let challenging =
+    List.find
+      (fun c ->
+        Grammar.terminal_name figure1 c.Conflict.terminal = "DIGIT")
+      (Parse_table.conflicts figure1_table)
+  in
+  let challenging, challenging_path = conflict_and_path figure1_lalr challenging in
+  let earley = Earley.make figure1 in
+  let challenging_form =
+    [ "expr"; "?"; "ARR"; "["; "expr"; "]"; ":="; "num"; "DIGIT"; "DIGIT";
+      "?"; "stmt"; "stmt" ]
+    |> List.map (fun n -> Option.get (Grammar.find_symbol figure1 n))
+  in
+  let stmt =
+    Symbol.Nonterminal (Option.get (Grammar.find_nonterminal figure1 "stmt"))
+  in
+  let tests =
+    [ Test.make ~name:"lalr-build-figure1"
+        (Staged.stage (fun () -> Parse_table.build figure1));
+      Test.make ~name:"lalr-build-java"
+        (Staged.stage (fun () -> Parse_table.build java));
+      Test.make ~name:"lookahead-path-challenging"
+        (Staged.stage (fun () ->
+             Cex.Lookahead_path.find figure1_lalr
+               ~conflict_state:challenging.Conflict.state
+               ~reduce_item:(Conflict.reduce_item challenging)
+               ~terminal:challenging.Conflict.terminal));
+      Test.make ~name:"nonunifying-challenging"
+        (Staged.stage (fun () ->
+             Cex.Nonunifying.construct figure1_lalr challenging));
+      Test.make ~name:"product-search-challenging"
+        (Staged.stage (fun () ->
+             Cex.Product_search.search figure1_lalr ~conflict:challenging
+               ~path_states:(Cex.Lookahead_path.states_on_path challenging_path)));
+      Test.make ~name:"earley-validate-challenging"
+        (Staged.stage (fun () ->
+             Earley.ambiguous_from earley ~start:stmt challenging_form));
+      Test.make ~name:"analyze-figure1-end-to-end"
+        (Staged.stage (fun () -> Cex.Driver.analyze figure1)) ]
+  in
+  let benchmark test =
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg =
+      Benchmark.cfg ~limit:2000
+        ~quota:(Time.second (if quick then 0.25 else 1.0))
+        ~stabilize:true ()
+    in
+    Benchmark.run cfg [ instance ] test
+  in
+  Fmt.pr "=== Microbenchmarks (bechamel, monotonic clock) ===@.";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = benchmark elt in
+          let ols =
+            Analyze.ols ~bootstrap:0 ~r_square:false
+              ~predictors:[| Bechamel.Measure.run |]
+          in
+          let result = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
+          let name = Test.Elt.name elt in
+          match Analyze.OLS.estimates result with
+          | Some [ ns ] ->
+            if ns > 1e6 then Fmt.pr "  %-40s %10.3f ms/run@." name (ns /. 1e6)
+            else Fmt.pr "  %-40s %10.1f ns/run@." name ns
+          | Some _ | None -> Fmt.pr "  %-40s (no estimate)@." name)
+        (Test.elements test))
+    tests;
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* Table 1. *)
+
+let table1 () =
+  let options =
+    if quick then
+      { Cex.Driver.default_options with
+        Cex.Driver.per_conflict_timeout = 1.0;
+        cumulative_timeout = 15.0 }
+    else Cex.Driver.default_options
+  in
+  Fmt.pr
+    "=== Table 1 (measured on this machine; 'paper#conf' column recalls the \
+     paper's conflict count) ===@.";
+  Fmt.pr "%a" Evaluation.pp_header ();
+  let rows =
+    List.map
+      (fun entry ->
+        let with_baseline =
+          entry.Corpus.category = Corpus.Bv10 && not quick
+        in
+        let row =
+          Evaluation.run_row ~options ~with_baseline ~baseline_budget:15.0
+            entry
+        in
+        Fmt.pr "%a%!" Evaluation.pp_row row;
+        row)
+      (Corpus.all ())
+  in
+  Fmt.pr "@.";
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Ablations. *)
+
+let search_outcome ?costs ?extended lalr c =
+  let path =
+    Option.get
+      (Cex.Lookahead_path.find lalr ~conflict_state:c.Conflict.state
+         ~reduce_item:(Conflict.reduce_item c) ~terminal:c.Conflict.terminal)
+  in
+  Cex.Product_search.search ?costs ?extended
+    ~time_limit:(if quick then 1.0 else 5.0)
+    lalr ~conflict:c
+    ~path_states:(Cex.Lookahead_path.states_on_path path)
+
+let pp_outcome ppf = function
+  | Cex.Product_search.Unifying (_, st) ->
+    Fmt.pf ppf "unifying in %d cfgs (%.3fs)"
+      st.Cex.Product_search.configs_explored st.Cex.Product_search.elapsed
+  | Cex.Product_search.Timeout st ->
+    Fmt.pf ppf "TIMEOUT after %d cfgs" st.Cex.Product_search.configs_explored
+  | Cex.Product_search.Exhausted st ->
+    Fmt.pf ppf "exhausted after %d cfgs" st.Cex.Product_search.configs_explored
+
+let ablation_costs () =
+  Fmt.pr "=== Ablation: search cost constants ===@.";
+  let variants =
+    [ ("tuned (default)", Cex.Product_search.default_costs);
+      ( "uniform",
+        { Cex.Product_search.transition = 1;
+          reverse_transition = 1;
+          production_step = 1;
+          duplicate_production = 1;
+          reduction = 1;
+          off_path = 1 } );
+      ( "cheap productions",
+        { Cex.Product_search.default_costs with
+          Cex.Product_search.production_step = 2;
+          duplicate_production = 6;
+          reduction = 1 } ) ]
+  in
+  List.iter
+    (fun name ->
+      let g = Corpus.grammar (Corpus.find name) in
+      let table = Parse_table.build g in
+      let lalr = Parse_table.lalr table in
+      List.iter
+        (fun c ->
+          Fmt.pr "  %s, conflict in state %d under %s:@." name
+            c.Conflict.state
+            (Grammar.terminal_name g c.Conflict.terminal);
+          List.iter
+            (fun (vname, costs) ->
+              Fmt.pr "    %-22s %a@." vname pp_outcome
+                (search_outcome ~costs lalr c))
+            variants)
+        (Parse_table.conflicts table))
+    [ "figure1"; "SQL.4" ];
+  Fmt.pr "@."
+
+let ablation_restriction () =
+  Fmt.pr
+    "=== Ablation: shortest-path restriction (section 6) vs extended \
+     search ===@.";
+  List.iter
+    (fun name ->
+      let g = Corpus.grammar (Corpus.find name) in
+      let table = Parse_table.build g in
+      let lalr = Parse_table.lalr table in
+      List.iter
+        (fun c ->
+          Fmt.pr "  %-12s state %d under %-6s restricted: %a@." name
+            c.Conflict.state
+            (Grammar.terminal_name g c.Conflict.terminal)
+            pp_outcome
+            (search_outcome ~extended:false lalr c);
+          Fmt.pr "  %-12s %24s extended:   %a@." name "" pp_outcome
+            (search_outcome ~extended:true lalr c))
+        (Parse_table.conflicts table))
+    [ "ambfailed01"; "figure7"; "figure3" ];
+  Fmt.pr "@."
+
+let baseline_comparison () =
+  if quick then ()
+  else begin
+    Fmt.pr "=== Baseline: AMBER-style brute force (start-symbol search) ===@.";
+    List.iter
+      (fun name ->
+        let g = Corpus.grammar (Corpus.find name) in
+        let r = Baselines.Brute_force.search ~max_length:10 ~time_limit:10.0 g in
+        Fmt.pr "  %-12s %s after %d forms (%.2fs)@." name
+          (match r.Baselines.Brute_force.ambiguous with
+          | Some _ -> "ambiguity found"
+          | None ->
+            if r.Baselines.Brute_force.exhausted then "exhausted bound"
+            else "gave up")
+          r.Baselines.Brute_force.forms_explored
+          r.Baselines.Brute_force.elapsed)
+      [ "figure1"; "figure3"; "stackovf10"; "SQL.3"; "C.2" ];
+    Fmt.pr "@."
+  end
+
+let () =
+  Fmt.pr "lrcex benchmark harness%s@.@." (if quick then " (quick mode)" else "");
+  microbenchmarks ();
+  let rows = table1 () in
+  Evaluation.pp_effectiveness Fmt.stdout (Evaluation.effectiveness rows);
+  Evaluation.pp_efficiency Fmt.stdout (Evaluation.efficiency rows);
+  Fmt.pr "@.";
+  Evaluation.pp_scalability Fmt.stdout (Evaluation.scalability rows);
+  Fmt.pr "@.";
+  ablation_costs ();
+  ablation_restriction ();
+  baseline_comparison ();
+  Fmt.pr "done.@."

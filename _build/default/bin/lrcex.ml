@@ -1,0 +1,145 @@
+(* lrcex: analyze a grammar's parsing conflicts and report counterexamples,
+   in the manner of the paper's CUP extension. *)
+
+let read_source = function
+  | "-" -> In_channel.input_all stdin
+  | path -> In_channel.with_open_text path In_channel.input_all
+
+let run path timeout cumulative extended show_states show_naive classify_lr1
+    show_resolved =
+  match Cfg.Spec_parser.grammar_of_string (read_source path) with
+  | Error msg ->
+    Fmt.epr "error: %s@." msg;
+    1
+  | Ok g ->
+    let options =
+      { Cex.Driver.default_options with
+        Cex.Driver.per_conflict_timeout = timeout;
+        cumulative_timeout = cumulative;
+        extended }
+    in
+    let table = Automaton.Parse_table.build g in
+    if show_states then
+      Fmt.pr "%a@." (fun ppf () -> Automaton.Lr0.pp ppf (Automaton.Parse_table.lr0 table)) ();
+    let report = Cex.Driver.analyze_table ~options table in
+    Fmt.pr "%s" (Cex.Report.to_string report);
+    if classify_lr1 then begin
+      let lalr_conflicts = Automaton.Parse_table.conflicts table in
+      if lalr_conflicts <> [] then begin
+        let lr1 = Automaton.Lr1.build g in
+        let artifacts =
+          Automaton.Lr1.merging_artifacts ~lalr_conflicts
+            ~lr1_conflicts:(Automaton.Lr1.conflicts lr1)
+        in
+        Fmt.pr
+          "@.[LR(1) classification] canonical LR(1): %d states; %d of %d conflicts are LALR merging artifacts@."
+          (Automaton.Lr1.n_states lr1)
+          (List.length artifacts) (List.length lalr_conflicts);
+        List.iter
+          (fun c ->
+            Fmt.pr "@.@[<v>%a@]@.This conflict disappears under canonical LR(1): factor the grammar, no ambiguity here.@."
+              (Automaton.Conflict.pp g) c)
+          artifacts
+      end
+    end;
+    if show_resolved then begin
+      let lalr = Automaton.Parse_table.lalr table in
+      let resolved = Automaton.Parse_table.resolved_conflicts table in
+      if resolved <> [] then
+        Fmt.pr
+          "@.[precedence-resolved conflicts] %d shift/reduce decisions were settled silently; counterexamples for the ambiguities they resolve:@."
+          (List.length resolved);
+      List.iter
+        (fun (c, resolution) ->
+          let cr = Cex.Driver.analyze_conflict ~options lalr c in
+          Fmt.pr "@.@[<v>%a@]@.(resolved: %s)@."
+            (Cex.Report.pp_conflict_report g) cr
+            (match resolution with
+            | Automaton.Parse_table.Resolved_shift -> "in favour of the shift"
+            | Automaton.Parse_table.Resolved_reduce ->
+              "in favour of the reduction"
+            | Automaton.Parse_table.Resolved_error ->
+              "as a syntax error (nonassociative)"))
+        resolved
+    end;
+    if show_naive then begin
+      let lalr = Automaton.Parse_table.lalr table in
+      let analysis = Automaton.Lalr.analysis lalr in
+      List.iter
+        (fun c ->
+          match Baselines.Naive_path.find lalr c with
+          | None -> ()
+          | Some naive ->
+            Fmt.pr "@.[naive baseline%s]@.%a@."
+              (if Baselines.Naive_path.misleading analysis naive then
+                 " - MISLEADING"
+               else "")
+              (Baselines.Naive_path.pp g) naive)
+        (Automaton.Parse_table.conflicts table)
+    end;
+    if Automaton.Parse_table.conflicts table = [] then 0 else 2
+
+open Cmdliner
+
+let path_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"GRAMMAR"
+        ~doc:"Grammar file in the yacc-like format ('-' for stdin).")
+
+let timeout_arg =
+  Arg.(
+    value & opt float 5.0
+    & info [ "timeout" ]
+        ~doc:"Per-conflict time limit (seconds) for the unifying search.")
+
+let cumulative_arg =
+  Arg.(
+    value & opt float 120.0
+    & info [ "cumulative-timeout" ]
+        ~doc:"Cumulative budget (seconds) after which only nonunifying \
+              counterexamples are constructed.")
+
+let extended_arg =
+  Arg.(
+    value & flag
+    & info [ "extended-search" ]
+        ~doc:"Lift the shortest-path restriction (slower, more complete).")
+
+let states_arg =
+  Arg.(value & flag & info [ "states" ] ~doc:"Dump the LR(0) automaton first.")
+
+let naive_arg =
+  Arg.(
+    value & flag
+    & info [ "naive" ]
+        ~doc:"Also print the lookahead-insensitive (PPG-style) baseline \
+              counterexamples for comparison.")
+
+let lr1_arg =
+  Arg.(
+    value & flag
+    & info [ "lr1" ]
+        ~doc:"Classify conflicts against the canonical LR(1) automaton: \
+              conflicts that disappear there are LALR merging artifacts.")
+
+let resolved_arg =
+  Arg.(
+    value & flag
+    & info [ "resolved" ]
+        ~doc:"Also analyze precedence-resolved shift/reduce decisions and \
+              show the ambiguity each one silently settles.")
+
+let cmd =
+  let doc =
+    "find counterexamples for LALR parsing conflicts (Isradisaikul & Myers, \
+     PLDI 2015)"
+  in
+  Cmd.v
+    (Cmd.info "lrcex" ~version:"1.0.0" ~doc)
+    Term.(
+      const run $ path_arg $ timeout_arg $ cumulative_arg $ extended_arg
+      $ states_arg $ naive_arg $ lr1_arg $ resolved_arg)
+
+let () = exit (Cmd.eval' cmd)

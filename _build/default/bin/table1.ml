@@ -1,0 +1,51 @@
+(* Regenerate the paper's Table 1 on this machine. *)
+
+open Cmdliner
+
+let run names with_baseline timeout cumulative quick =
+  let entries =
+    match names with
+    | [] -> Corpus.all ()
+    | names -> List.map Corpus.find names
+  in
+  let options =
+    { Cex.Driver.default_options with
+      Cex.Driver.per_conflict_timeout = (if quick then 1.0 else timeout);
+      cumulative_timeout = (if quick then 20.0 else cumulative) }
+  in
+  Fmt.pr "%a" Evaluation.pp_header ();
+  let rows =
+    List.map
+      (fun e ->
+        let row = Evaluation.run_row ~options ~with_baseline e in
+        Fmt.pr "%a%!" Evaluation.pp_row row;
+        row)
+      entries
+  in
+  Fmt.pr "@.";
+  Evaluation.pp_effectiveness Fmt.stdout (Evaluation.effectiveness rows);
+  Evaluation.pp_efficiency Fmt.stdout (Evaluation.efficiency rows);
+  Evaluation.pp_scalability Fmt.stdout (Evaluation.scalability rows);
+  0
+
+let names_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"GRAMMAR" ~doc:"Corpus grammar names (default: all).")
+
+let baseline_arg =
+  Arg.(value & flag & info [ "baseline" ] ~doc:"Also time the CFGAnalyzer-substitute baseline.")
+
+let timeout_arg =
+  Arg.(value & opt float 5.0 & info [ "timeout" ] ~doc:"Per-conflict limit (s).")
+
+let cumulative_arg =
+  Arg.(value & opt float 120.0 & info [ "cumulative-timeout" ] ~doc:"Cumulative budget (s).")
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Small budgets (1 s / 20 s) for smoke runs.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "table1" ~doc:"regenerate the paper's Table 1")
+    Term.(const run $ names_arg $ baseline_arg $ timeout_arg $ cumulative_arg $ quick_arg)
+
+let () = exit (Cmd.eval' cmd)

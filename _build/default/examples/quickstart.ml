@@ -1,0 +1,39 @@
+(* Quickstart: define a grammar, find its conflicts, and get counterexamples.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let grammar_source =
+  {|
+%start stmt
+stmt : IF expr THEN stmt ELSE stmt
+     | IF expr THEN stmt
+     | PRINT expr
+     ;
+expr : expr + expr
+     | NUM
+     ;
+|}
+
+let () =
+  (* 1. Parse the grammar description. *)
+  let grammar = Cfg.Spec_parser.grammar_of_string_exn grammar_source in
+
+  (* 2. Analyze: builds the LALR(1) automaton, finds every conflict, and
+     attaches a counterexample to each (unifying when the ambiguity is found
+     within the time budget, nonunifying otherwise). *)
+  let report = Cex.Driver.analyze grammar in
+
+  (* 3. Print the CUP-style report (paper, Fig. 11). *)
+  print_string (Cex.Report.to_string report);
+
+  (* 4. The results are also available programmatically. *)
+  List.iter
+    (fun cr ->
+      match cr.Cex.Driver.counterexample with
+      | Some (Cex.Driver.Unifying u) ->
+        Fmt.pr "@.[programmatic] nonterminal %s is ambiguous: %a@."
+          (Cfg.Grammar.nonterminal_name grammar u.Cex.Product_search.nonterminal)
+          (Cfg.Grammar.pp_symbols grammar)
+          u.Cex.Product_search.form
+      | Some (Cex.Driver.Nonunifying _) | None -> ())
+    report.Cex.Driver.conflict_reports

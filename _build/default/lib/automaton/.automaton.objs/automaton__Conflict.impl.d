@@ -1,0 +1,1 @@
+lib/automaton/conflict.ml: Bitset Cfg Fmt Grammar Item

@@ -1,0 +1,1 @@
+lib/automaton/conflict.mli: Bitset Cfg Format Grammar Item

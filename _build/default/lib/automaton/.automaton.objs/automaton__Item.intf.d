@@ -1,0 +1,1 @@
+lib/automaton/item.mli: Cfg Format Grammar Symbol

@@ -1,0 +1,1 @@
+lib/automaton/lalr.ml: Analysis Array Bitset Cfg Fmt Grammar Item List Lr0 Queue Symbol

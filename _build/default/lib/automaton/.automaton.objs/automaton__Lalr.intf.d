@@ -1,0 +1,1 @@
+lib/automaton/lalr.mli: Analysis Bitset Cfg Format Grammar Item Lr0

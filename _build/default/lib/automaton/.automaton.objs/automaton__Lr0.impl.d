@@ -1,0 +1,1 @@
+lib/automaton/lr0.ml: Array Cfg Fmt Grammar Hashtbl Item List Queue Symbol

@@ -1,0 +1,1 @@
+lib/automaton/lr0.mli: Cfg Format Grammar Item Symbol

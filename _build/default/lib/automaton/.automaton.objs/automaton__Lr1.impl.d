@@ -1,0 +1,1 @@
+lib/automaton/lr1.ml: Analysis Array Bitset Cfg Conflict Grammar Hashtbl Item List Option Queue Symbol

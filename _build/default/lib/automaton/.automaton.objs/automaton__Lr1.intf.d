@@ -1,0 +1,1 @@
+lib/automaton/lr1.mli: Analysis Bitset Cfg Conflict Grammar Item Symbol

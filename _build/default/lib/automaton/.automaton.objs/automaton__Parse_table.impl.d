@@ -1,0 +1,1 @@
+lib/automaton/parse_table.ml: Array Bitset Cfg Conflict Fmt Grammar Item Lalr List Lr0 Symbol

@@ -1,0 +1,1 @@
+lib/automaton/parse_table.mli: Analysis Cfg Conflict Format Grammar Lalr Lr0

@@ -1,0 +1,1 @@
+lib/automaton/runner.ml: Array Cfg Derivation Fmt Grammar List Lr0 Parse_table Result Symbol

@@ -1,0 +1,1 @@
+lib/automaton/runner.mli: Cfg Derivation Format Grammar Parse_table

@@ -1,0 +1,55 @@
+open Cfg
+
+type kind =
+  | Shift_reduce of {
+      shift_item : Item.t;
+      reduce_item : Item.t;
+    }
+  | Reduce_reduce of {
+      reduce1 : Item.t;
+      reduce2 : Item.t;
+      terminals : Bitset.t;
+    }
+
+type t = {
+  state : int;
+  terminal : int;
+  kind : kind;
+}
+
+let reduce_item c =
+  match c.kind with
+  | Shift_reduce { reduce_item; _ } -> reduce_item
+  | Reduce_reduce { reduce1; _ } -> reduce1
+
+let other_item c =
+  match c.kind with
+  | Shift_reduce { shift_item; _ } -> shift_item
+  | Reduce_reduce { reduce2; _ } -> reduce2
+
+let is_shift_reduce c =
+  match c.kind with
+  | Shift_reduce _ -> true
+  | Reduce_reduce _ -> false
+
+let pp g ppf c =
+  match c.kind with
+  | Shift_reduce { shift_item; reduce_item } ->
+    Fmt.pf ppf
+      "Shift/Reduce conflict found in state #%d@,\
+      \  between reduction on %a@,\
+      \  and shift on %a@,\
+      \  under symbol %s"
+      c.state (Item.pp g) reduce_item (Item.pp g) shift_item
+      (Grammar.terminal_name g c.terminal)
+  | Reduce_reduce { reduce1; reduce2; terminals } ->
+    Fmt.pf ppf
+      "Reduce/Reduce conflict found in state #%d@,\
+      \  between reduction on %a@,\
+      \  and reduction on %a@,\
+      \  under symbols %a"
+      c.state (Item.pp g) reduce1 (Item.pp g) reduce2
+      (Bitset.pp ~name:(Grammar.terminal_name g))
+      terminals
+
+let to_string g c = Fmt.str "@[<v>%a@]" (pp g) c

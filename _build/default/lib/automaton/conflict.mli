@@ -1,0 +1,37 @@
+(** Parsing conflicts surviving precedence resolution.
+
+    Conflicts are counted per item pair, matching the paper's convention
+    (e.g. Fig. 7's single state yields two shift/reduce conflicts, one per
+    shift item). For a shift/reduce conflict the conflict terminal is the
+    shift item's next symbol; for reduce/reduce, the full lookahead
+    intersection is recorded and [terminal] is its smallest element. *)
+
+open Cfg
+
+type kind =
+  | Shift_reduce of {
+      shift_item : Item.t;
+      reduce_item : Item.t;
+    }
+  | Reduce_reduce of {
+      reduce1 : Item.t;
+      reduce2 : Item.t;
+      terminals : Bitset.t;  (** lookahead intersection *)
+    }
+
+type t = {
+  state : int;
+  terminal : int;  (** the conflict symbol *)
+  kind : kind;
+}
+
+val reduce_item : t -> Item.t
+(** The (first) reduce item — the one the counterexample search must complete
+    in stage 1. *)
+
+val other_item : t -> Item.t
+(** The shift item, or the second reduce item. *)
+
+val is_shift_reduce : t -> bool
+val pp : Grammar.t -> Format.formatter -> t -> unit
+val to_string : Grammar.t -> t -> string

@@ -1,0 +1,54 @@
+open Cfg
+
+type t = {
+  prod : int;
+  dot : int;
+}
+
+let make prod dot = { prod; dot }
+
+let equal a b = a.prod = b.prod && a.dot = b.dot
+
+let compare a b =
+  let c = Int.compare a.prod b.prod in
+  if c <> 0 then c else Int.compare a.dot b.dot
+
+let hash { prod; dot } = (prod * 31) + dot
+
+let production g item = Grammar.production g item.prod
+
+let rhs_length g item = Array.length (production g item).Grammar.rhs
+
+let next_symbol g item =
+  let p = production g item in
+  if item.dot < Array.length p.Grammar.rhs then Some p.Grammar.rhs.(item.dot)
+  else None
+
+let prev_symbol g item =
+  if item.dot = 0 then None
+  else Some (production g item).Grammar.rhs.(item.dot - 1)
+
+let is_reduce g item = item.dot = rhs_length g item
+
+let is_initial item = item.dot = 0
+
+let advance item = { item with dot = item.dot + 1 }
+
+let retreat item =
+  if item.dot = 0 then invalid_arg "Item.retreat: dot at start"
+  else { item with dot = item.dot - 1 }
+
+let start = { prod = 0; dot = 0 }
+
+let pp g ppf item =
+  let p = production g item in
+  Fmt.pf ppf "%s ::=" (Grammar.nonterminal_name g p.Grammar.lhs);
+  Array.iteri
+    (fun i sym ->
+      if i = item.dot then Fmt.pf ppf " %s" Derivation.dot_marker;
+      Fmt.pf ppf " %s" (Grammar.symbol_name g sym))
+    p.Grammar.rhs;
+  if item.dot = Array.length p.Grammar.rhs then
+    Fmt.pf ppf " %s" Derivation.dot_marker
+
+let to_string g item = Fmt.str "%a" (pp g) item

@@ -1,0 +1,39 @@
+(** LR(0) production items: a production plus a dot position. *)
+
+open Cfg
+
+type t = private {
+  prod : int;
+  dot : int;
+}
+
+val make : int -> int -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val production : Grammar.t -> t -> Grammar.production
+val rhs_length : Grammar.t -> t -> int
+
+val next_symbol : Grammar.t -> t -> Symbol.t option
+(** The symbol immediately after the dot, if any. *)
+
+val prev_symbol : Grammar.t -> t -> Symbol.t option
+(** The symbol immediately before the dot, if any. *)
+
+val is_reduce : Grammar.t -> t -> bool
+(** Dot at the end of the right-hand side. *)
+
+val is_initial : t -> bool
+(** Dot at the start of the right-hand side (a closure item). *)
+
+val advance : t -> t
+
+val retreat : t -> t
+(** @raise Invalid_argument when the dot is already at the start. *)
+
+val start : t
+(** [START ::= • s]: production 0 with the dot at 0. *)
+
+val pp : Grammar.t -> Format.formatter -> t -> unit
+val to_string : Grammar.t -> t -> string

@@ -1,0 +1,107 @@
+open Cfg
+
+type t = {
+  lr0 : Lr0.t;
+  analysis : Analysis.t;
+  lookaheads : Bitset.t array array;
+}
+
+let lr0 a = a.lr0
+let analysis a = a.analysis
+let grammar a = Lr0.grammar a.lr0
+
+(* LALR(1) lookahead sets for every item of every state, computed as the
+   least fixpoint of lookahead flow over the automaton:
+
+   - along a transition, the lookahead set is carried unchanged to the
+     advanced item in the successor state;
+   - along a production step within a state, the item [A -> alpha . C beta]
+     with lookahead L contributes followL = FIRST(beta) (plus L when beta is
+     nullable) to every initial item [C -> . gamma] of the same state.
+
+   Merging contexts per (state, item) with set union is exactly the LALR(1)
+   approximation; this is the per-(state, item) quotient of the paper's
+   lookahead-sensitive graph. *)
+let build ?analysis lr0 =
+  let g = Lr0.grammar lr0 in
+  let analysis =
+    match analysis with
+    | Some a -> a
+    | None -> Analysis.make g
+  in
+  let lookaheads =
+    Array.init (Lr0.n_states lr0) (fun s ->
+        Array.make (Array.length (Lr0.state lr0 s).Lr0.items) Bitset.empty)
+  in
+  let queue = Queue.create () in
+  let on_queue =
+    Array.init (Lr0.n_states lr0) (fun s ->
+        Array.make (Array.length (Lr0.state lr0 s).Lr0.items) false)
+  in
+  let push s idx =
+    if not on_queue.(s).(idx) then begin
+      on_queue.(s).(idx) <- true;
+      Queue.add (s, idx) queue
+    end
+  in
+  let union_into s idx extra =
+    let current = lookaheads.(s).(idx) in
+    let bigger = Bitset.union current extra in
+    if not (Bitset.equal bigger current) then begin
+      lookaheads.(s).(idx) <- bigger;
+      push s idx
+    end
+  in
+  let start_idx =
+    match Lr0.item_index (Lr0.state lr0 Lr0.start_state) Item.start with
+    | Some idx -> idx
+    | None -> assert false
+  in
+  union_into Lr0.start_state start_idx (Bitset.singleton 0);
+  while not (Queue.is_empty queue) do
+    let s, idx = Queue.pop queue in
+    on_queue.(s).(idx) <- false;
+    let st = Lr0.state lr0 s in
+    let item = st.Lr0.items.(idx) in
+    let la = lookaheads.(s).(idx) in
+    match Item.next_symbol g item with
+    | None -> ()
+    | Some sym ->
+      (match Lr0.transition lr0 s sym with
+      | None -> assert false
+      | Some s' ->
+        let st' = Lr0.state lr0 s' in
+        (match Lr0.item_index st' (Item.advance item) with
+        | Some idx' -> union_into s' idx' la
+        | None -> assert false));
+      (match sym with
+      | Symbol.Terminal _ -> ()
+      | Symbol.Nonterminal nt ->
+        let prod = Item.production g item in
+        let follow = Analysis.follow_l analysis prod ~dot:item.Item.dot la in
+        List.iter
+          (fun p ->
+            match Lr0.item_index st (Item.make p 0) with
+            | Some idx' -> union_into s idx' follow
+            | None -> assert false)
+          (Grammar.productions_of g nt))
+  done;
+  { lr0; analysis; lookaheads }
+
+let lookahead a s idx = a.lookaheads.(s).(idx)
+
+let lookahead_item a s item =
+  match Lr0.item_index (Lr0.state a.lr0 s) item with
+  | Some idx -> a.lookaheads.(s).(idx)
+  | None -> invalid_arg "Lalr.lookahead_item: item not in state"
+
+let pp_state a ppf s =
+  let g = grammar a in
+  let st = Lr0.state a.lr0 s in
+  Fmt.pf ppf "State %d:@." s;
+  Array.iteri
+    (fun idx item ->
+      Fmt.pf ppf "  %a  %a@." (Item.pp g) item
+        (Bitset.pp ~name:(Grammar.terminal_name g))
+        a.lookaheads.(s).(idx))
+    st.Lr0.items

@@ -1,0 +1,27 @@
+(** LALR(1) lookahead sets for {e every} item of every LR(0) state.
+
+    Stock LALR generators keep lookaheads only for kernel items; the paper's
+    algorithms need them for closure items too (e.g. the lookahead condition
+    on reverse transitions, Fig. 10(c)), so we compute the full table. The
+    computation is a least-fixpoint of lookahead flow along transitions and
+    production steps, which coincides with the classical LALR(1) sets. *)
+
+open Cfg
+
+type t
+
+val build : ?analysis:Analysis.t -> Lr0.t -> t
+(** [analysis] may be supplied to share a precomputed {!Cfg.Analysis.t}. *)
+
+val lr0 : t -> Lr0.t
+val analysis : t -> Analysis.t
+val grammar : t -> Grammar.t
+
+val lookahead : t -> int -> int -> Bitset.t
+(** [lookahead a state item_idx]: lookahead set by item position (index into
+    [(Lr0.state lr0 state).items]). *)
+
+val lookahead_item : t -> int -> Item.t -> Bitset.t
+(** @raise Invalid_argument if the item is not in the state. *)
+
+val pp_state : t -> Format.formatter -> int -> unit

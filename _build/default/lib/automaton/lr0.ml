@@ -1,0 +1,162 @@
+open Cfg
+
+type state = {
+  id : int;
+  items : Item.t array;
+  accessing : Symbol.t option;
+  goto_terminal : int array;
+  goto_nonterminal : int array;
+  mutable predecessors : int list;
+}
+
+type t = {
+  grammar : Grammar.t;
+  states : state array;
+}
+
+let grammar a = a.grammar
+let n_states a = Array.length a.states
+let state a i = a.states.(i)
+let start_state = 0
+
+let transition a s sym =
+  let st = a.states.(s) in
+  let target =
+    match sym with
+    | Symbol.Terminal t -> st.goto_terminal.(t)
+    | Symbol.Nonterminal nt -> st.goto_nonterminal.(nt)
+  in
+  if target < 0 then None else Some target
+
+let item_index st item =
+  let rec search lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let c = Item.compare item st.items.(mid) in
+      if c = 0 then Some mid
+      else if c < 0 then search lo mid
+      else search (mid + 1) hi
+  in
+  search 0 (Array.length st.items)
+
+let has_item st item = item_index st item <> None
+
+let items_with_next a s sym =
+  let st = a.states.(s) in
+  Array.to_list st.items
+  |> List.filter (fun item ->
+         match Item.next_symbol a.grammar item with
+         | Some sym' -> Symbol.equal sym sym'
+         | None -> false)
+
+let reduce_items a s =
+  let st = a.states.(s) in
+  Array.to_list st.items
+  |> List.filter (fun item -> Item.is_reduce a.grammar item)
+
+(* Closure of a kernel: add the initial item of every production of a
+   nonterminal that appears after a dot, transitively. *)
+let closure g kernel =
+  let seen : (Item.t, unit) Hashtbl.t = Hashtbl.create 16 in
+  let result = ref [] in
+  let rec add item =
+    if not (Hashtbl.mem seen item) then begin
+      Hashtbl.add seen item ();
+      result := item :: !result;
+      match Item.next_symbol g item with
+      | Some (Symbol.Nonterminal nt) ->
+        List.iter (fun p -> add (Item.make p 0)) (Grammar.productions_of g nt)
+      | Some (Symbol.Terminal _) | None -> ()
+    end
+  in
+  List.iter add kernel;
+  let items = Array.of_list !result in
+  Array.sort Item.compare items;
+  items
+
+let build g =
+  let n_t = Grammar.n_terminals g in
+  let n_nt = Grammar.n_nonterminals g in
+  let states : state array ref = ref [||] in
+  let count = ref 0 in
+  let by_kernel : (Item.t list, int) Hashtbl.t = Hashtbl.create 64 in
+  let pending = Queue.create () in
+  let intern kernel accessing =
+    let kernel = List.sort Item.compare kernel in
+    match Hashtbl.find_opt by_kernel kernel with
+    | Some id -> id
+    | None ->
+      let id = !count in
+      incr count;
+      Hashtbl.add by_kernel kernel id;
+      let st =
+        { id;
+          items = closure g kernel;
+
+          accessing;
+          goto_terminal = Array.make n_t (-1);
+          goto_nonterminal = Array.make n_nt (-1);
+          predecessors = [] }
+      in
+      if Array.length !states <= id then begin
+        let bigger =
+          Array.make (max 16 (2 * (id + 1))) st
+        in
+        Array.blit !states 0 bigger 0 (Array.length !states);
+        states := bigger
+      end;
+      !states.(id) <- st;
+      Queue.add id pending;
+      id
+  in
+  let (_ : int) = intern [ Item.start ] None in
+  while not (Queue.is_empty pending) do
+    let id = Queue.pop pending in
+    let st = !states.(id) in
+    (* Group items by their next symbol. *)
+    let by_symbol : (Symbol.t, Item.t list ref) Hashtbl.t = Hashtbl.create 8 in
+    let order = ref [] in
+    Array.iter
+      (fun item ->
+        match Item.next_symbol g item with
+        | None -> ()
+        | Some sym -> (
+          match Hashtbl.find_opt by_symbol sym with
+          | Some l -> l := item :: !l
+          | None ->
+            Hashtbl.add by_symbol sym (ref [ item ]);
+            order := sym :: !order))
+      st.items;
+    List.iter
+      (fun sym ->
+        let sources = !(Hashtbl.find by_symbol sym) in
+        let kernel = List.map Item.advance sources in
+        let target = intern kernel (Some sym) in
+        (match sym with
+        | Symbol.Terminal t -> st.goto_terminal.(t) <- target
+        | Symbol.Nonterminal nt -> st.goto_nonterminal.(nt) <- target);
+        let tgt = !states.(target) in
+        if not (List.mem id tgt.predecessors) then
+          tgt.predecessors <- id :: tgt.predecessors)
+      (List.rev !order)
+  done;
+  { grammar = g; states = Array.sub !states 0 !count }
+
+let predecessors a s = a.states.(s).predecessors
+
+let kernel_items a s =
+  let st = a.states.(s) in
+  Array.to_list st.items
+  |> List.filter (fun item ->
+         (not (Item.is_initial item)) || Item.equal item Item.start)
+
+let pp_state a ppf s =
+  let st = a.states.(s) in
+  Fmt.pf ppf "State %d:@." s;
+  Array.iter (fun item -> Fmt.pf ppf "  %a@." (Item.pp a.grammar) item) st.items
+
+let pp ppf a =
+  for s = 0 to n_states a - 1 do
+    pp_state a ppf s
+  done

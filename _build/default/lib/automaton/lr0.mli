@@ -1,0 +1,47 @@
+(** Canonical LR(0) automaton.
+
+    Each state is the closure of its kernel item set. As in every LR
+    automaton, all edges into a state carry the same symbol, recorded as the
+    state's [accessing] symbol; consequently reverse transitions from a state
+    are exactly its [predecessors]. *)
+
+open Cfg
+
+type state = private {
+  id : int;
+  items : Item.t array;  (** kernel and closure items, sorted *)
+  accessing : Symbol.t option;  (** [None] only for the start state *)
+  goto_terminal : int array;  (** successor per terminal; -1 = none *)
+  goto_nonterminal : int array;  (** successor per nonterminal; -1 = none *)
+  mutable predecessors : int list;
+}
+
+type t
+
+val build : Grammar.t -> t
+val grammar : t -> Grammar.t
+val n_states : t -> int
+val state : t -> int -> state
+
+val start_state : int
+(** Always 0. *)
+
+val transition : t -> int -> Symbol.t -> int option
+val predecessors : t -> int -> int list
+
+val item_index : state -> Item.t -> int option
+(** Position of the item within the state's sorted [items] array. *)
+
+val has_item : state -> Item.t -> bool
+
+val items_with_next : t -> int -> Symbol.t -> Item.t list
+(** Items of the state whose next symbol (after the dot) is the given symbol;
+    used for shift items and for reverse production steps. *)
+
+val reduce_items : t -> int -> Item.t list
+
+val kernel_items : t -> int -> Item.t list
+(** Items with the dot not at the start, plus the start item in state 0. *)
+
+val pp_state : t -> Format.formatter -> int -> unit
+val pp : Format.formatter -> t -> unit

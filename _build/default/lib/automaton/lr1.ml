@@ -1,0 +1,193 @@
+open Cfg
+
+(* Canonical LR(1) automaton. Each state is a closed set of items with exact
+   lookahead sets; unlike LALR, states with equal cores but different
+   lookaheads are kept apart. Used to classify LALR conflicts: a conflict that
+   disappears under canonical LR(1) is an artifact of LALR state merging. *)
+
+type state = {
+  id : int;
+  items : (Item.t * Bitset.t) array;  (** sorted by item *)
+  accessing : Symbol.t option;
+}
+
+type t = {
+  grammar : Grammar.t;
+  analysis : Analysis.t;
+  states : state array;
+  transitions : (int * Symbol.t, int) Hashtbl.t;
+}
+
+let grammar a = a.grammar
+let n_states a = Array.length a.states
+let state a i = a.states.(i)
+let transition a s sym = Hashtbl.find_opt a.transitions (s, sym)
+
+(* Closure with lookaheads: a fixpoint because closure items feed each
+   other through followL. *)
+let closure g analysis kernel =
+  let la : (Item.t, Bitset.t) Hashtbl.t = Hashtbl.create 16 in
+  let get item = Option.value ~default:Bitset.empty (Hashtbl.find_opt la item) in
+  let queue = Queue.create () in
+  let add item extra =
+    let current = get item in
+    let bigger = Bitset.union current extra in
+    if not (Bitset.equal bigger current) then begin
+      Hashtbl.replace la item bigger;
+      Queue.add item queue
+    end
+  in
+  List.iter (fun (item, l) -> add item l) kernel;
+  while not (Queue.is_empty queue) do
+    let item = Queue.pop queue in
+    match Item.next_symbol g item with
+    | Some (Symbol.Nonterminal nt) ->
+      let follow =
+        Analysis.follow_l analysis (Item.production g item) ~dot:item.Item.dot
+          (get item)
+      in
+      List.iter (fun p -> add (Item.make p 0) follow) (Grammar.productions_of g nt)
+    | Some (Symbol.Terminal _) | None -> ()
+  done;
+  let items =
+    Hashtbl.fold (fun item l acc -> (item, l) :: acc) la []
+    |> List.sort (fun (i1, _) (i2, _) -> Item.compare i1 i2)
+  in
+  Array.of_list items
+
+(* A canonical key for interning states: items plus exact lookaheads. *)
+let state_key items =
+  Array.to_list items
+  |> List.map (fun (item, l) -> (item.Item.prod, item.Item.dot, Bitset.elements l))
+
+let build ?analysis g =
+  let analysis =
+    match analysis with
+    | Some a -> a
+    | None -> Analysis.make g
+  in
+  let states = ref [] in
+  let count = ref 0 in
+  let interned : (_, int) Hashtbl.t = Hashtbl.create 256 in
+  let transitions = Hashtbl.create 256 in
+  let pending = Queue.create () in
+  let intern kernel accessing =
+    let items = closure g analysis kernel in
+    let key = state_key items in
+    match Hashtbl.find_opt interned key with
+    | Some id -> id
+    | None ->
+      let id = !count in
+      incr count;
+      Hashtbl.add interned key id;
+      states := { id; items; accessing } :: !states;
+      Queue.add (id, items) pending;
+      id
+  in
+  let (_ : int) =
+    intern [ (Item.start, Bitset.singleton 0) ] None
+  in
+  while not (Queue.is_empty pending) do
+    let id, items = Queue.pop pending in
+    (* Group by next symbol. *)
+    let by_symbol : (Symbol.t, (Item.t * Bitset.t) list ref) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    let order = ref [] in
+    Array.iter
+      (fun (item, l) ->
+        match Item.next_symbol g item with
+        | None -> ()
+        | Some sym -> (
+          match Hashtbl.find_opt by_symbol sym with
+          | Some group -> group := (Item.advance item, l) :: !group
+          | None ->
+            Hashtbl.add by_symbol sym (ref [ (Item.advance item, l) ]);
+            order := sym :: !order))
+      items;
+    List.iter
+      (fun sym ->
+        let kernel = !(Hashtbl.find by_symbol sym) in
+        let target = intern kernel (Some sym) in
+        Hashtbl.replace transitions (id, sym) target)
+      (List.rev !order)
+  done;
+  let states_arr = Array.make !count (List.hd !states) in
+  List.iter (fun st -> states_arr.(st.id) <- st) !states;
+  { grammar = g; analysis; states = states_arr; transitions }
+
+(* Conflicts, with the same per-item-pair counting convention as
+   {!Parse_table} (but no precedence resolution: canonical LR(1) is used for
+   classification, not for table generation). *)
+let conflicts a =
+  let g = a.grammar in
+  let result = ref [] in
+  Array.iter
+    (fun st ->
+      let reduces =
+        Array.to_list st.items
+        |> List.filter (fun (item, _) -> Item.is_reduce g item)
+      in
+      (* reduce/reduce pairs *)
+      let rec rr = function
+        | [] -> ()
+        | (item1, la1) :: rest ->
+          List.iter
+            (fun (item2, la2) ->
+              let inter = Bitset.inter la1 la2 in
+              if not (Bitset.is_empty inter) then
+                result :=
+                  Conflict.
+                    { state = st.id;
+                      terminal = Option.get (Bitset.choose inter);
+                      kind =
+                        Reduce_reduce
+                          { reduce1 = item1; reduce2 = item2; terminals = inter } }
+                  :: !result)
+            rest;
+          rr rest
+      in
+      rr reduces;
+      (* shift/reduce pairs *)
+      List.iter
+        (fun (r_item, la) ->
+          Array.iter
+            (fun (s_item, _) ->
+              match Item.next_symbol g s_item with
+              | Some (Symbol.Terminal t) when Bitset.mem la t ->
+                result :=
+                  { Conflict.state = st.id; terminal = t;
+                    kind =
+                      Conflict.Shift_reduce
+                        { shift_item = s_item; reduce_item = r_item } }
+                  :: !result
+              | Some _ | None -> ())
+            st.items)
+        reduces)
+    a.states;
+  List.rev !result
+
+(* Signature of a conflict independent of state numbering, for comparing the
+   LALR and canonical LR(1) conflict sets. *)
+let conflict_signature (c : Conflict.t) =
+  let item_sig (i : Item.t) = (i.Item.prod, i.Item.dot) in
+  match c.Conflict.kind with
+  | Conflict.Shift_reduce { shift_item; reduce_item } ->
+    (0, item_sig reduce_item, item_sig shift_item)
+  | Conflict.Reduce_reduce { reduce1; reduce2; _ } ->
+    (* Normalize the pair order, and ignore the representative terminal: the
+       canonical automaton may exhibit the same item-pair conflict under a
+       smaller lookahead intersection. *)
+    let s1 = item_sig reduce1 and s2 = item_sig reduce2 in
+    if s1 <= s2 then (1, s1, s2) else (1, s2, s1)
+
+(* LALR conflicts that no canonical LR(1) state exhibits: pure merging
+   artifacts. The grammar may still fail to be LR(1) for other conflicts. *)
+let merging_artifacts ~lalr_conflicts ~lr1_conflicts =
+  let lr1_sigs = Hashtbl.create 16 in
+  List.iter
+    (fun c -> Hashtbl.replace lr1_sigs (conflict_signature c) ())
+    lr1_conflicts;
+  List.filter
+    (fun c -> not (Hashtbl.mem lr1_sigs (conflict_signature c)))
+    lalr_conflicts

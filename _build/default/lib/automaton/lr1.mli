@@ -1,0 +1,37 @@
+(** Canonical LR(1) automaton, used to {e classify} LALR conflicts: a
+    conflict that no canonical LR(1) state exhibits is an artifact of LALR
+    state merging (the grammar is LR(1) with respect to that conflict), so
+    no unifying counterexample exists for it and factoring — not
+    disambiguation — is the appropriate fix.
+
+    This addresses the observation in the paper's related work (section 8)
+    that Schmitz's tool must build LR(1) item pairs for precise reports on
+    LALR(1) constructions. Canonical LR(1) is exponentially larger than LALR
+    in the worst case; build it on demand only. *)
+
+open Cfg
+
+type state = private {
+  id : int;
+  items : (Item.t * Bitset.t) array;  (** sorted by item; exact lookaheads *)
+  accessing : Symbol.t option;
+}
+
+type t
+
+val build : ?analysis:Analysis.t -> Grammar.t -> t
+val grammar : t -> Grammar.t
+val n_states : t -> int
+val state : t -> int -> state
+val transition : t -> int -> Symbol.t -> int option
+
+val conflicts : t -> Conflict.t list
+(** Per-item-pair, like {!Parse_table.conflicts}, but with exact lookaheads
+    and no precedence resolution; state numbers refer to LR(1) states. *)
+
+val merging_artifacts :
+  lalr_conflicts:Conflict.t list ->
+  lr1_conflicts:Conflict.t list ->
+  Conflict.t list
+(** The LALR conflicts whose item-pair signature appears in no canonical
+    LR(1) conflict. *)

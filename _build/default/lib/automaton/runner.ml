@@ -1,0 +1,66 @@
+open Cfg
+
+type error = {
+  position : int;
+  state : int;
+  terminal : int;
+}
+
+let pp_error g ppf e =
+  Fmt.pf ppf "syntax error at input position %d (state %d, next symbol %s)"
+    e.position e.state (Grammar.terminal_name g e.terminal)
+
+(* A classic table-driven LR driver. The stacks hold states and the
+   derivations of the symbols shifted/reduced so far; on acceptance the single
+   remaining derivation is the parse tree of the start symbol. *)
+let parse table input =
+  let g = Parse_table.grammar table in
+  let rec drive states derivs input position =
+    let state = List.hd states in
+    let terminal, rest, position' =
+      match input with
+      | [] -> 0, [], position
+      | t :: rest -> t, rest, position + 1
+    in
+    match Parse_table.action table state terminal with
+    | Parse_table.Shift target ->
+      drive (target :: states) (Derivation.leaf (Symbol.Terminal terminal) :: derivs)
+        rest position'
+    | Parse_table.Reduce prod ->
+      let p = Grammar.production g prod in
+      let n = Array.length p.Grammar.rhs in
+      let rec pop k states derivs children =
+        if k = 0 then states, derivs, children
+        else
+          match states, derivs with
+          | _ :: states', d :: derivs' ->
+            pop (k - 1) states' derivs' (d :: children)
+          | _, _ -> assert false
+      in
+      let states, derivs, children = pop n states derivs [] in
+      let node = Derivation.node g prod children in
+      let state' = List.hd states in
+      (match Parse_table.goto table state' p.Grammar.lhs with
+      | Some target -> drive (target :: states) (node :: derivs) input position
+      | None -> assert false)
+    | Parse_table.Accept -> (
+      match derivs with
+      | [ d ] -> Ok d
+      | _ -> assert false)
+    | Parse_table.Error -> Result.Error { position; state; terminal }
+  in
+  drive [ Lr0.start_state ] [] input 0
+
+let parse_names table names =
+  let g = Parse_table.grammar table in
+  let resolve name =
+    match Grammar.find_terminal g name with
+    | Some t -> t
+    | None -> invalid_arg (Fmt.str "Runner.parse_names: unknown terminal %s" name)
+  in
+  parse table (List.map resolve names)
+
+let accepts table input =
+  match parse table input with
+  | Ok _ -> true
+  | Result.Error _ -> false

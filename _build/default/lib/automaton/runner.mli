@@ -1,0 +1,25 @@
+(** Table-driven LR parser: runs a {!Parse_table.t} on a terminal string and
+    produces the derivation (parse tree) of the start symbol.
+
+    Unresolved conflicts follow the table's defaults (shift over reduce,
+    earlier production over later), so the runner is deterministic even for
+    conflicted grammars. *)
+
+open Cfg
+
+type error = {
+  position : int;  (** number of terminals consumed before the error *)
+  state : int;
+  terminal : int;  (** offending terminal (0 = end of input) *)
+}
+
+val pp_error : Grammar.t -> Format.formatter -> error -> unit
+
+val parse : Parse_table.t -> int list -> (Derivation.t, error) result
+(** Parse a sentence given as terminal indices (without the final [$]). *)
+
+val parse_names : Parse_table.t -> string list -> (Derivation.t, error) result
+(** Convenience wrapper resolving terminal names.
+    @raise Invalid_argument on unknown terminal names. *)
+
+val accepts : Parse_table.t -> int list -> bool

@@ -1,0 +1,1 @@
+lib/baselines/bounded_checker.ml: Analysis Brute_force Cfg Grammar Unix

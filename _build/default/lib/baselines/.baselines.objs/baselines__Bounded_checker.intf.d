@@ -1,0 +1,1 @@
+lib/baselines/bounded_checker.mli: Cfg Grammar

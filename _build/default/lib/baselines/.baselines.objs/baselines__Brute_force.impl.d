@@ -1,0 +1,1 @@
+lib/baselines/brute_force.ml: Analysis Array Cfg Grammar Hashtbl List Queue Symbol Unix

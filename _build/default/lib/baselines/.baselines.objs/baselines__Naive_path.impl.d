@@ -1,0 +1,1 @@
+lib/baselines/naive_path.ml: Analysis Array Automaton Bitset Cfg Conflict Derivation Fmt Grammar Hashtbl Item Lalr List Lr0 Queue Symbol

@@ -1,0 +1,1 @@
+lib/baselines/naive_path.mli: Analysis Automaton Cfg Conflict Format Grammar Lalr Symbol

@@ -1,0 +1,1 @@
+lib/baselines/sampler.ml: Analysis Array Cfg Earley Grammar List Random Symbol Unix

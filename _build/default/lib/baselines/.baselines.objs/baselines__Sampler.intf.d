@@ -1,0 +1,1 @@
+lib/baselines/sampler.mli: Cfg Grammar

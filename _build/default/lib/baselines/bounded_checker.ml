@@ -1,0 +1,55 @@
+open Cfg
+
+(* CFGAnalyzer substitute (see DESIGN.md): the real tool encodes "some
+   nonterminal derives an ambiguous phrase of length <= k" into SAT and
+   increments k until satisfiable. With no SAT solver available offline, we
+   decide the same per-bound question by exhaustive enumeration with
+   duplicate detection, re-checked from scratch for each k exactly as the
+   incremental SAT encoding re-solves per bound. The two properties the
+   paper's comparison rests on are preserved: the tool searches globally
+   (per grammar, not per conflict), and it stops at the first ambiguous
+   phrase found. Like CFGAnalyzer, it never terminates on unambiguous
+   grammars except by hitting its limits. *)
+
+type result = {
+  ambiguous : (int * int list) option;
+      (** ambiguous nonterminal and the duplicated phrase *)
+  bound_reached : int;
+  elapsed : float;
+}
+
+let check ?(max_bound = 12) ?(time_limit = 30.0) g =
+  let started = Unix.gettimeofday () in
+  let analysis = Analysis.make g in
+  let interesting nt =
+    Analysis.reachable analysis nt && Analysis.productive analysis nt
+  in
+  let found = ref None in
+  let bound = ref 0 in
+  while
+    !found = None && !bound < max_bound
+    && Unix.gettimeofday () -. started < time_limit
+  do
+    incr bound;
+    let remaining () = time_limit -. (Unix.gettimeofday () -. started) in
+    let rec try_nonterminals nt =
+      if nt < Grammar.n_nonterminals g && !found = None then begin
+        if interesting nt then begin
+          let r =
+            Brute_force.search ~max_length:!bound
+              ~time_limit:(max 0.01 (remaining ()))
+              ~start_nonterminal:(Some nt) g
+          in
+          match r.Brute_force.ambiguous with
+          | Some phrase -> found := Some (nt, phrase)
+          | None -> ()
+        end;
+        try_nonterminals (nt + 1)
+      end
+    in
+    (* Nonterminal 0 is the augmented START; skip it. *)
+    try_nonterminals 1
+  done;
+  { ambiguous = !found;
+    bound_reached = !bound;
+    elapsed = Unix.gettimeofday () -. started }

@@ -1,0 +1,15 @@
+(** CFGAnalyzer-style incremental bounded ambiguity detection: for growing
+    length bounds, decide whether {e any} reachable nonterminal derives some
+    phrase ambiguously, stopping at the first witness. See DESIGN.md for the
+    substitution rationale (enumeration instead of SAT). *)
+
+open Cfg
+
+type result = {
+  ambiguous : (int * int list) option;
+      (** (nonterminal, phrase): the first ambiguity witness found *)
+  bound_reached : int;  (** last length bound attempted *)
+  elapsed : float;
+}
+
+val check : ?max_bound:int -> ?time_limit:float -> Grammar.t -> result

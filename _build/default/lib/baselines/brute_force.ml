@@ -1,0 +1,74 @@
+open Cfg
+
+(* The AMBER / DMS baseline: enumerate leftmost derivations breadth-first
+   from the start symbol and flag the first terminal sentence produced by two
+   distinct leftmost derivations. Distinct leftmost derivations are in
+   bijection with distinct parse trees, so a duplicate is an ambiguity
+   witness. This is accurate but, as the paper notes, "prohibitively slow":
+   it starts from the start symbol and explores the whole language. *)
+
+type result = {
+  ambiguous : (int list) option;  (** first duplicated sentence (terminals) *)
+  sentences : int;  (** completed sentences enumerated *)
+  forms_explored : int;
+  elapsed : float;
+  exhausted : bool;  (** search space up to the length bound fully covered *)
+}
+
+let search ?(max_length = 12) ?(max_forms = 2_000_000) ?(time_limit = 30.0)
+    ?(start_nonterminal = None) g =
+  let started = Unix.gettimeofday () in
+  let analysis = Analysis.make g in
+  let start =
+    match start_nonterminal with
+    | Some nt -> nt
+    | None -> Grammar.start g
+  in
+  let seen : (int list, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let queue = Queue.create () in
+  (* Each queue element: (terminal prefix rev, remaining sentential form). *)
+  Queue.add ([], [ Symbol.Nonterminal start ]) queue;
+  let sentences = ref 0 in
+  let forms = ref 0 in
+  let duplicate = ref None in
+  let timed_out = ref false in
+  while
+    !duplicate = None && (not !timed_out) && not (Queue.is_empty queue)
+  do
+    if !forms land 1023 = 0 && Unix.gettimeofday () -. started > time_limit
+    then timed_out := true
+    else begin
+      let prefix_rev, form = Queue.pop queue in
+      incr forms;
+      if !forms > max_forms then timed_out := true
+      else begin
+        match form with
+        | [] ->
+          let sentence = List.rev prefix_rev in
+          incr sentences;
+          if Hashtbl.mem seen sentence then duplicate := Some sentence
+          else Hashtbl.add seen sentence ()
+        | Symbol.Terminal t :: rest ->
+          Queue.add (t :: prefix_rev, rest) queue
+        | Symbol.Nonterminal nt :: rest ->
+          List.iter
+            (fun p ->
+              let rhs =
+                Array.to_list (Grammar.production g p).Grammar.rhs
+              in
+              let form' = rhs @ rest in
+              (* Prune forms that cannot fit in the length bound. *)
+              match Analysis.min_length_of_form analysis form' with
+              | None -> ()
+              | Some remaining ->
+                if List.length prefix_rev + remaining <= max_length then
+                  Queue.add (prefix_rev, form') queue)
+            (Grammar.productions_of g nt)
+      end
+    end
+  done;
+  { ambiguous = !duplicate;
+    sentences = !sentences;
+    forms_explored = !forms;
+    elapsed = Unix.gettimeofday () -. started;
+    exhausted = (not !timed_out) && !duplicate = None }

@@ -1,0 +1,27 @@
+(** The AMBER / DMS baseline: breadth-first enumeration of leftmost
+    derivations with duplicate-sentence detection. Accurate but exponential;
+    included for the paper's efficiency comparison (section 7.3 and related
+    work). *)
+
+open Cfg
+
+type result = {
+  ambiguous : int list option;
+      (** the first sentence (terminal indices) derived by two distinct
+          leftmost derivations, if one was found *)
+  sentences : int;
+  forms_explored : int;
+  elapsed : float;
+  exhausted : bool;
+      (** the space up to [max_length] was fully explored (so the grammar is
+          unambiguous for sentences within the bound) *)
+}
+
+val search :
+  ?max_length:int ->
+  ?max_forms:int ->
+  ?time_limit:float ->
+  ?start_nonterminal:int option ->
+  Grammar.t ->
+  result
+(** Defaults: sentences up to 12 terminals, 2M sentential forms, 30 s. *)

@@ -1,0 +1,117 @@
+open Cfg
+open Automaton
+
+(* The PPG / CUP2 baseline (paper, sections 7.2 and 8): find the shortest
+   path to the conflict state in the plain LR(0) automaton, ignoring
+   lookahead sets entirely, and complete the open productions verbatim. The
+   resulting "counterexamples" are frequently invalid: nothing guarantees the
+   conflict terminal can follow the dot. *)
+
+type t = {
+  conflict : Conflict.t;
+  prefix : Symbol.t list;
+  reduce_continuation : Symbol.t list;
+  other_continuation : Symbol.t list;
+}
+
+(* BFS over (state, item) vertices of the lookahead-insensitive graph. *)
+let find lalr (conflict : Conflict.t) =
+  let lr0 = Lalr.lr0 lalr in
+  let g = Lalr.grammar lalr in
+  let target = (conflict.Conflict.state, Conflict.reduce_item conflict) in
+  let parents : (int * Item.t, ((int * Item.t) * Symbol.t option) option)
+      Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let queue = Queue.create () in
+  let visit key parent =
+    if not (Hashtbl.mem parents key) then begin
+      Hashtbl.add parents key parent;
+      Queue.add key queue
+    end
+  in
+  visit (Lr0.start_state, Item.start) None;
+  while (not (Hashtbl.mem parents target)) && not (Queue.is_empty queue) do
+    let ((state, item) as key) = Queue.pop queue in
+    match Item.next_symbol g item with
+    | None -> ()
+    | Some sym ->
+      (match Lr0.transition lr0 state sym with
+      | Some state' -> visit (state', Item.advance item) (Some (key, Some sym))
+      | None -> ());
+      (match sym with
+      | Symbol.Nonterminal nt ->
+        List.iter
+          (fun p -> visit (state, Item.make p 0) (Some (key, None)))
+          (Grammar.productions_of g nt)
+      | Symbol.Terminal _ -> ())
+  done;
+  if not (Hashtbl.mem parents target) then None
+  else begin
+    (* Reconstruct prefix symbols and the open production frames. *)
+    let rec unwind key prefix frames =
+      match Hashtbl.find parents key with
+      | None -> prefix, frames
+      | Some (parent, via) ->
+        let prefix =
+          match via with
+          | Some sym -> sym :: prefix
+          | None -> prefix
+        in
+        let frames =
+          (* A production-step edge leaves the parent as an open frame. *)
+          match via with
+          | None -> snd parent :: frames
+          | Some _ -> frames
+        in
+        unwind parent prefix frames
+    in
+    let prefix, frames_outer_first = unwind target [] [] in
+    let continuation frames =
+      List.concat_map
+        (fun (item : Item.t) ->
+          let rhs = (Item.production g item).Grammar.rhs in
+          Array.to_list
+            (Array.sub rhs (item.Item.dot + 1)
+               (Array.length rhs - item.Item.dot - 1)))
+        frames
+    in
+    (* Innermost first for the continuation. *)
+    let frames = List.rev frames_outer_first in
+    let reduce_continuation = continuation frames in
+    let other_continuation =
+      match conflict.Conflict.kind with
+      | Conflict.Shift_reduce { shift_item; _ } ->
+        let rhs = (Item.production g shift_item).Grammar.rhs in
+        Array.to_list
+          (Array.sub rhs shift_item.Item.dot
+             (Array.length rhs - shift_item.Item.dot))
+        (* Note: no backward walk either; the naive baseline just shows the
+           shift item's remainder. *)
+      | Conflict.Reduce_reduce _ -> reduce_continuation
+    in
+    Some { conflict; prefix; reduce_continuation; other_continuation }
+  end
+
+(* A naive counterexample is misleading when the conflict terminal cannot
+   actually begin the continuation after the reduction — exactly the
+   lookahead information the baseline ignored. *)
+let misleading analysis t =
+  let rec can_start form terminal =
+    match form with
+    | [] -> terminal = 0
+    | Symbol.Terminal t' :: _ -> t' = terminal
+    | Symbol.Nonterminal nt :: rest ->
+      (terminal <> 0 && Bitset.mem (Analysis.first analysis nt) terminal)
+      || (Analysis.nullable analysis nt && can_start rest terminal)
+  in
+  not (can_start t.reduce_continuation t.conflict.Conflict.terminal)
+
+let pp g ppf t =
+  let dot = Derivation.dot_marker in
+  Fmt.pf ppf "@[<v>Example (using reduction):@,  %a %s %a@,"
+    (Grammar.pp_symbols g) t.prefix dot (Grammar.pp_symbols g)
+    t.reduce_continuation;
+  Fmt.pf ppf "Example (using other action):@,  %a %s %a@]"
+    (Grammar.pp_symbols g) t.prefix dot (Grammar.pp_symbols g)
+    t.other_continuation

@@ -1,0 +1,23 @@
+(** The PPG / CUP2 baseline: lookahead-{e insensitive} shortest-path
+    counterexamples. These are the "misleading counterexamples" of the
+    paper's section 7.2 — the shortest path reaches the conflict state, but
+    nothing guarantees the conflict terminal can follow, so the reported
+    example often cannot trigger the conflict at all. *)
+
+open Cfg
+open Automaton
+
+type t = {
+  conflict : Conflict.t;
+  prefix : Symbol.t list;
+  reduce_continuation : Symbol.t list;
+  other_continuation : Symbol.t list;
+}
+
+val find : Lalr.t -> Conflict.t -> t option
+
+val misleading : Analysis.t -> t -> bool
+(** True when the conflict terminal cannot begin the continuation after the
+    dot — i.e. the "counterexample" can never exhibit the conflict. *)
+
+val pp : Grammar.t -> Format.formatter -> t -> unit

@@ -1,0 +1,94 @@
+open Cfg
+
+(* The SinBAD baseline (Vasudevan & Tratt 2013): detect ambiguity by
+   repeatedly sampling random derivations from the start symbol and checking
+   whether the sampled sentence parses in more than one way. Fast when
+   ambiguous sentences are dense; useless on unambiguous grammars; and — the
+   paper's criticism — reported witnesses start at the start symbol, so they
+   do not identify the ambiguous nonterminal. *)
+
+type result = {
+  ambiguous : int list option;  (** a sampled ambiguous sentence *)
+  samples : int;
+  elapsed : float;
+}
+
+(* Sample a sentence by expanding the leftmost nonterminal with a random
+   production, biased towards short completions once [size_budget] runs out
+   so that generation terminates. *)
+let sample_sentence rng g analysis ~max_len =
+  let rec expand acc form budget =
+    match form with
+    | [] -> Some (List.rev acc)
+    | Symbol.Terminal t :: rest ->
+      if List.length acc >= max_len then None
+      else expand (t :: acc) rest budget
+    | Symbol.Nonterminal nt :: rest ->
+      let prods = Grammar.productions_of g nt in
+      let viable =
+        List.filter
+          (fun p ->
+            Array.for_all
+              (fun sym ->
+                match sym with
+                | Symbol.Terminal _ -> true
+                | Symbol.Nonterminal n -> Analysis.productive analysis n)
+              (Grammar.production g p).Grammar.rhs)
+          prods
+      in
+      if viable = [] then None
+      else begin
+        let pick =
+          if budget > 0 then List.nth viable (Random.State.int rng (List.length viable))
+          else begin
+            (* Budget exhausted: take a production with minimal yield. *)
+            let cost p =
+              Array.fold_left
+                (fun acc sym ->
+                  match sym with
+                  | Symbol.Terminal _ -> acc + 1
+                  | Symbol.Nonterminal n -> (
+                    match Analysis.min_length analysis n with
+                    | Some m -> acc + m
+                    | None -> acc + 1000))
+                0
+                (Grammar.production g p).Grammar.rhs
+            in
+            List.fold_left
+              (fun best p -> if cost p < cost best then p else best)
+              (List.hd viable) (List.tl viable)
+          end
+        in
+        let rhs = Array.to_list (Grammar.production g pick).Grammar.rhs in
+        expand acc (rhs @ rest) (budget - 1)
+      end
+  in
+  expand [] [ Symbol.Nonterminal (Grammar.start g) ] (max_len * 2)
+
+let search ?(max_samples = 2000) ?(max_len = 25) ?(time_limit = 10.0) ?(seed = 42)
+    g =
+  let started = Unix.gettimeofday () in
+  let analysis = Analysis.make g in
+  let earley = Earley.make g in
+  let rng = Random.State.make [| seed |] in
+  let start = Symbol.Nonterminal (Grammar.start g) in
+  let found = ref None in
+  let samples = ref 0 in
+  while
+    !found = None && !samples < max_samples
+    && Unix.gettimeofday () -. started < time_limit
+  do
+    incr samples;
+    match sample_sentence rng g analysis ~max_len with
+    | None -> ()
+    | Some sentence ->
+      (* Ambiguity checking is the expensive part; keep sentences short. *)
+      if
+        List.length sentence <= max_len
+        && Earley.ambiguous_from earley ~start
+             (List.map (fun t -> Symbol.Terminal t) sentence)
+      then found := Some sentence
+  done;
+  { ambiguous = !found;
+    samples = !samples;
+    elapsed = Unix.gettimeofday () -. started }

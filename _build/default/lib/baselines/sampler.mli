@@ -1,0 +1,19 @@
+(** SinBAD-style random ambiguity sampling (paper, section 8): expand random
+    derivations from the start symbol and test each sampled sentence for
+    multiple parses. *)
+
+open Cfg
+
+type result = {
+  ambiguous : int list option;  (** a sampled ambiguous sentence (terminals) *)
+  samples : int;
+  elapsed : float;
+}
+
+val search :
+  ?max_samples:int ->
+  ?max_len:int ->
+  ?time_limit:float ->
+  ?seed:int ->
+  Grammar.t ->
+  result

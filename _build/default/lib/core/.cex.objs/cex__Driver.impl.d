@@ -1,0 +1,1 @@
+lib/core/driver.ml: Automaton Conflict List Lookahead_path Nonunifying Parse_table Product_search Unix

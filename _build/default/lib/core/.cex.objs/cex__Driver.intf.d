@@ -1,0 +1,1 @@
+lib/core/driver.mli: Automaton Cfg Conflict Lalr Nonunifying Parse_table Product_search

@@ -1,0 +1,1 @@
+lib/core/lookahead_path.ml: Analysis Automaton Bitset Cfg Fmt Grammar Hashtbl Int Item Lalr List Lr0 Pqueue Queue Symbol

@@ -1,0 +1,1 @@
+lib/core/lookahead_path.mli: Automaton Bitset Cfg Format Grammar Item Lalr Symbol

@@ -1,0 +1,1 @@
+lib/core/nonunifying.ml: Analysis Array Automaton Bitset Cfg Conflict Derivation Fmt Grammar Hashtbl Item Lalr List Lookahead_path Lr0 Option Queue Symbol

@@ -1,0 +1,1 @@
+lib/core/nonunifying.mli: Analysis Automaton Cfg Conflict Derivation Format Grammar Lalr Lookahead_path Symbol

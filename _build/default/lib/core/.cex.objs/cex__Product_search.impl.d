@@ -1,0 +1,1 @@
+lib/core/product_search.ml: Analysis Array Automaton Bitset Cfg Conflict Derivation Grammar Hashtbl Item Lalr List Lr0 Pqueue Symbol Unix

@@ -1,0 +1,1 @@
+lib/core/product_search.mli: Automaton Cfg Conflict Derivation Lalr Symbol

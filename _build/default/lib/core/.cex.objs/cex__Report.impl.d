@@ -1,0 +1,1 @@
+lib/core/report.ml: Automaton Bitset Cfg Conflict Derivation Driver Fmt Grammar Item List Nonunifying Product_search

@@ -1,0 +1,1 @@
+lib/core/report.mli: Automaton Cfg Conflict Driver Format Grammar Product_search

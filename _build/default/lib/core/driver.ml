@@ -1,0 +1,109 @@
+
+open Automaton
+
+type options = {
+  per_conflict_timeout : float;
+  cumulative_timeout : float;
+  extended : bool;
+  costs : Product_search.costs;
+  max_configs : int;
+}
+
+let default_options =
+  { per_conflict_timeout = 5.0;
+    cumulative_timeout = 120.0;
+    extended = false;
+    costs = Product_search.default_costs;
+    max_configs = 400_000 }
+
+type outcome =
+  | Found_unifying
+  | No_unifying_exists
+  | Search_timeout
+  | Skipped_search
+
+type counterexample =
+  | Unifying of Product_search.unifying
+  | Nonunifying of Nonunifying.t
+
+type conflict_report = {
+  conflict : Conflict.t;
+  counterexample : counterexample option;
+  outcome : outcome;
+  elapsed : float;
+  configs_explored : int;
+}
+
+type report = {
+  table : Parse_table.t;
+  conflict_reports : conflict_report list;
+  total_elapsed : float;
+}
+
+let grammar r = Parse_table.grammar r.table
+
+let count outcome r =
+  List.length (List.filter (fun cr -> cr.outcome = outcome) r.conflict_reports)
+
+let n_unifying = count Found_unifying
+let n_nonunifying = count No_unifying_exists
+let n_timeout r = count Search_timeout r + count Skipped_search r
+
+(* ------------------------------------------------------------------ *)
+
+let analyze_conflict ?(options = default_options) ?(skip_search = false) lalr
+    conflict =
+  let started = Unix.gettimeofday () in
+  let path =
+    Lookahead_path.find lalr ~conflict_state:conflict.Conflict.state
+      ~reduce_item:(Conflict.reduce_item conflict)
+      ~terminal:conflict.Conflict.terminal
+  in
+  let fallback outcome configs =
+    let counterexample =
+      match Nonunifying.construct lalr conflict with
+      | Some nu -> Some (Nonunifying nu)
+      | None -> None
+    in
+    { conflict; counterexample; outcome;
+      elapsed = Unix.gettimeofday () -. started;
+      configs_explored = configs }
+  in
+  match path with
+  | None -> fallback Search_timeout 0
+  | Some path when skip_search -> (
+    ignore path;
+    fallback Skipped_search 0)
+  | Some path -> (
+    let path_states = Lookahead_path.states_on_path path in
+    match
+      Product_search.search ~costs:options.costs ~extended:options.extended
+        ~time_limit:options.per_conflict_timeout
+        ~max_configs:options.max_configs lalr ~conflict ~path_states
+    with
+    | Product_search.Unifying (u, stats) ->
+      { conflict;
+        counterexample = Some (Unifying u);
+        outcome = Found_unifying;
+        elapsed = Unix.gettimeofday () -. started;
+        configs_explored = stats.Product_search.configs_explored }
+    | Product_search.Timeout stats ->
+      fallback Search_timeout stats.Product_search.configs_explored
+    | Product_search.Exhausted stats ->
+      fallback No_unifying_exists stats.Product_search.configs_explored)
+
+let analyze_table ?(options = default_options) table =
+  let started = Unix.gettimeofday () in
+  let lalr = Parse_table.lalr table in
+  let conflict_reports =
+    List.map
+      (fun conflict ->
+        let elapsed_so_far = Unix.gettimeofday () -. started in
+        let skip_search = elapsed_so_far > options.cumulative_timeout in
+        analyze_conflict ~options ~skip_search lalr conflict)
+      (Parse_table.conflicts table)
+  in
+  { table; conflict_reports;
+    total_elapsed = Unix.gettimeofday () -. started }
+
+let analyze ?options g = analyze_table ?options (Parse_table.build g)

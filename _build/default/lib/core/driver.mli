@@ -1,0 +1,63 @@
+(** Top-level driver: analyze a grammar's conflicts and attach a
+    counterexample to each, mirroring the paper's implementation strategy
+    (section 6):
+
+    - compute the shortest lookahead-sensitive path per conflict;
+    - run the product-parser search for a unifying counterexample under a
+      per-conflict time limit (the paper's 5 s default);
+    - fall back to a nonunifying counterexample on timeout or exhaustion;
+    - after a cumulative budget (the paper's 2 minutes), skip the unifying
+      search and report only nonunifying counterexamples. *)
+
+open Automaton
+
+type options = {
+  per_conflict_timeout : float;  (** seconds; paper default 5.0 *)
+  cumulative_timeout : float;  (** seconds; paper default 120.0 *)
+  extended : bool;  (** full search (the paper's [-extendedsearch]) *)
+  costs : Product_search.costs;
+  max_configs : int;
+}
+
+val default_options : options
+
+type outcome =
+  | Found_unifying
+  | No_unifying_exists
+      (** search exhausted: under the shortest-path restriction no unifying
+          counterexample exists (Table 1's "# nonunif" column) *)
+  | Search_timeout  (** Table 1's "# time out" column *)
+  | Skipped_search  (** cumulative budget exceeded before this conflict *)
+
+type counterexample =
+  | Unifying of Product_search.unifying
+  | Nonunifying of Nonunifying.t
+
+type conflict_report = {
+  conflict : Conflict.t;
+  counterexample : counterexample option;
+      (** [None] only if even the nonunifying construction failed *)
+  outcome : outcome;
+  elapsed : float;
+  configs_explored : int;
+}
+
+type report = {
+  table : Parse_table.t;
+  conflict_reports : conflict_report list;
+  total_elapsed : float;
+}
+
+val analyze : ?options:options -> Cfg.Grammar.t -> report
+val analyze_table : ?options:options -> Parse_table.t -> report
+
+val analyze_conflict :
+  ?options:options -> ?skip_search:bool -> Lalr.t -> Conflict.t ->
+  conflict_report
+
+val grammar : report -> Cfg.Grammar.t
+val n_unifying : report -> int
+val n_nonunifying : report -> int
+val n_timeout : report -> int
+(** Timeouts plus skipped searches: conflicts for which a nonunifying
+    counterexample was reported without proof that no unifying one exists. *)

@@ -1,0 +1,178 @@
+open Cfg
+open Automaton
+
+type node = {
+  state : int;
+  item : Item.t;
+  lookahead : Bitset.t;
+}
+
+type step =
+  | Transition of Symbol.t
+  | Production of int
+
+type t = {
+  nodes : node list;  (** visited vertices, start first *)
+  steps : step list;  (** length [List.length nodes - 1] *)
+}
+
+let prefix_symbols path =
+  List.filter_map
+    (function
+      | Transition sym -> Some sym
+      | Production _ -> None)
+    path.steps
+
+let states_on_path path =
+  List.sort_uniq Int.compare (List.map (fun n -> n.state) path.nodes)
+
+let pp g ppf path =
+  let rec go nodes steps =
+    match nodes, steps with
+    | [], _ -> ()
+    | node :: nodes', steps ->
+      Fmt.pf ppf "(%d, %a, %a)@." node.state (Item.pp g) node.item
+        (Bitset.pp ~name:(Grammar.terminal_name g))
+        node.lookahead;
+      (match steps with
+      | [] -> ()
+      | step :: steps' ->
+        (match step with
+        | Transition sym -> Fmt.pf ppf "  --%s-->@." (Grammar.symbol_name g sym)
+        | Production p ->
+          Fmt.pf ppf "  --[prod %a]-->@." (Grammar.pp_production g)
+            (Grammar.production g p));
+        go nodes' steps')
+  in
+  go path.nodes path.steps
+
+(* ------------------------------------------------------------------ *)
+
+(* Backward reachability over (state, item) pairs, ignoring lookaheads: which
+   vertices can reach the conflict item at all? This is the paper's section-6
+   optimization: the forward Dijkstra then never expands vertices that cannot
+   reach the target. *)
+let backward_reachable lalr ~conflict_state ~target_item =
+  let lr0 = Lalr.lr0 lalr in
+  let g = Lalr.grammar lalr in
+  let reachable : (int * Item.t, unit) Hashtbl.t = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let visit state item =
+    if not (Hashtbl.mem reachable (state, item)) then begin
+      Hashtbl.add reachable (state, item) ();
+      Queue.add (state, item) queue
+    end
+  in
+  visit conflict_state target_item;
+  while not (Queue.is_empty queue) do
+    let state, item = Queue.pop queue in
+    (* Reverse transition: the dot moved over the accessing symbol. *)
+    if item.Item.dot > 0 then begin
+      let prev = Item.retreat item in
+      List.iter
+        (fun pred ->
+          if Lr0.has_item (Lr0.state lr0 pred) prev then visit pred prev)
+        (Lr0.predecessors lr0 state)
+    end
+    else begin
+      (* Reverse production step: any item of the same state with this item's
+         left-hand side after the dot. *)
+      let lhs = (Item.production g item).Grammar.lhs in
+      List.iter
+        (fun ctx -> visit state ctx)
+        (Lr0.items_with_next lr0 state (Symbol.Nonterminal lhs))
+    end
+  done;
+  fun state item -> Hashtbl.mem reachable (state, item)
+
+module Vertex = struct
+  type t = int * Item.t * Bitset.t
+
+  let equal (s1, i1, l1) (s2, i2, l2) =
+    s1 = s2 && Item.equal i1 i2 && Bitset.equal l1 l2
+
+  let hash (s, i, l) = (s * 65599) + (Item.hash i * 31) + Bitset.hash l
+end
+
+module Vtbl = Hashtbl.Make (Vertex)
+
+type search_entry = {
+  vertex : Vertex.t;
+  parent : (search_entry * step) option;
+}
+
+(* Shortest lookahead-sensitive path (paper section 4) from the start item
+   with precise lookahead {$} to the conflict reduce item with the conflict
+   terminal in its precise lookahead set. Transitions cost [transition_cost],
+   production steps [production_cost]. *)
+let find ?(transition_cost = 1) ?(production_cost = 0) lalr ~conflict_state
+    ~reduce_item ~terminal =
+  let lr0 = Lalr.lr0 lalr in
+  let g = Lalr.grammar lalr in
+  let analysis = Lalr.analysis lalr in
+  let relevant = backward_reachable lalr ~conflict_state ~target_item:reduce_item in
+  let visited = Vtbl.create 1024 in
+  let start_vertex = (Lr0.start_state, Item.start, Bitset.singleton 0) in
+  let queue =
+    ref (Pqueue.add Pqueue.empty 0 { vertex = start_vertex; parent = None })
+  in
+  let result = ref None in
+  while !result = None && not (Pqueue.is_empty !queue) do
+    match Pqueue.pop !queue with
+    | None -> assert false
+    | Some (cost, entry, rest) ->
+      queue := rest;
+      let ((state, item, lookahead) as vertex) = entry.vertex in
+      if not (Vtbl.mem visited vertex) then begin
+        Vtbl.add visited vertex ();
+        if
+          state = conflict_state
+          && Item.equal item reduce_item
+          && Bitset.mem lookahead terminal
+        then result := Some entry
+        else begin
+          (* Transition edge. *)
+          (match Item.next_symbol g item with
+          | None -> ()
+          | Some sym -> (
+            match Lr0.transition lr0 state sym with
+            | None -> ()
+            | Some state' ->
+              let item' = Item.advance item in
+              if relevant state' item' then
+                queue :=
+                  Pqueue.add !queue (cost + transition_cost)
+                    { vertex = (state', item', lookahead);
+                      parent = Some (entry, Transition sym) }));
+          (* Production step edges. *)
+          match Item.next_symbol g item with
+          | Some (Symbol.Nonterminal nt) ->
+            let follow =
+              Analysis.follow_l analysis (Item.production g item)
+                ~dot:item.Item.dot lookahead
+            in
+            List.iter
+              (fun p ->
+                let item' = Item.make p 0 in
+                if relevant state item' then
+                  queue :=
+                    Pqueue.add !queue (cost + production_cost)
+                      { vertex = (state, item', follow);
+                        parent = Some (entry, Production p) })
+              (Grammar.productions_of g nt)
+          | Some (Symbol.Terminal _) | None -> ()
+        end
+      end
+  done;
+  match !result with
+  | None -> None
+  | Some entry ->
+    let rec unwind entry nodes steps =
+      let state, item, lookahead = entry.vertex in
+      let node = { state; item; lookahead } in
+      match entry.parent with
+      | None -> node :: nodes, steps
+      | Some (parent, step) -> unwind parent (node :: nodes) (step :: steps)
+    in
+    let nodes, steps = unwind entry [] [] in
+    Some { nodes; steps }

@@ -1,0 +1,54 @@
+(** Shortest lookahead-sensitive paths (paper, section 4).
+
+    A vertex of the lookahead-sensitive graph is a triple
+    [(state, item, precise lookahead set)]; edges are parser transitions
+    (which preserve the precise lookahead set) and production steps (which
+    refine it through {!Cfg.Analysis.follow_l}). The shortest path from
+    [(start state, START item, {$})] to the conflict reduce item with the
+    conflict terminal in its precise lookahead set yields the prefix of every
+    valid counterexample for the conflict.
+
+    The search is a lazy Dijkstra: vertices are materialized on demand, and —
+    the paper's section-6 optimization — only [(state, item)] pairs that can
+    reach the conflict item backwards are ever expanded. *)
+
+open Cfg
+open Automaton
+
+type node = {
+  state : int;
+  item : Item.t;
+  lookahead : Bitset.t;  (** precise lookahead set, not the LALR set *)
+}
+
+type step =
+  | Transition of Symbol.t
+  | Production of int  (** production chosen by a production step *)
+
+type t = {
+  nodes : node list;
+  steps : step list;  (** [steps] has one fewer element than [nodes] *)
+}
+
+val find :
+  ?transition_cost:int ->
+  ?production_cost:int ->
+  Lalr.t ->
+  conflict_state:int ->
+  reduce_item:Item.t ->
+  terminal:int ->
+  t option
+(** [None] only if the conflict item is unreachable with the conflict
+    terminal in the precise lookahead — impossible for genuine LALR conflicts
+    but callers must handle it. Default costs: transitions 1, production
+    steps 0 (shortest in symbols). *)
+
+val prefix_symbols : t -> Symbol.t list
+(** The symbols of the transition edges: the counterexample prefix that takes
+    the parser from the start state to the conflict state. *)
+
+val states_on_path : t -> int list
+(** Sorted, deduplicated states visited; the unifying search restricts
+    reverse transitions to these (paper, section 6). *)
+
+val pp : Grammar.t -> Format.formatter -> t -> unit

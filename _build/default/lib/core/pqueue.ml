@@ -1,0 +1,44 @@
+(* A persistent pairing heap keyed by integer priorities. Ties are broken by
+   insertion order (FIFO), which keeps searches deterministic. *)
+
+type 'a heap =
+  | Empty
+  | Node of int * int * 'a * 'a heap list  (* priority, seq, value, children *)
+
+type 'a t = {
+  heap : 'a heap;
+  next_seq : int;
+  size : int;
+}
+
+let empty = { heap = Empty; next_seq = 0; size = 0 }
+
+let is_empty q = q.size = 0
+let size q = q.size
+
+let merge h1 h2 =
+  match h1, h2 with
+  | Empty, h | h, Empty -> h
+  | Node (p1, s1, v1, c1), Node (p2, s2, v2, c2) ->
+    if p1 < p2 || (p1 = p2 && s1 < s2) then Node (p1, s1, v1, h2 :: c1)
+    else Node (p2, s2, v2, h1 :: c2)
+
+let rec merge_pairs = function
+  | [] -> Empty
+  | [ h ] -> h
+  | h1 :: h2 :: rest -> merge (merge h1 h2) (merge_pairs rest)
+
+let add q priority value =
+  { heap = merge q.heap (Node (priority, q.next_seq, value, []));
+    next_seq = q.next_seq + 1;
+    size = q.size + 1 }
+
+let pop q =
+  match q.heap with
+  | Empty -> None
+  | Node (priority, _, value, children) ->
+    Some
+      ( priority, value,
+        { heap = merge_pairs children;
+          next_seq = q.next_seq;
+          size = q.size - 1 } )

@@ -1,0 +1,11 @@
+(** Persistent min-priority queue (pairing heap) with integer priorities and
+    FIFO tie-breaking, so search orders are deterministic. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val add : 'a t -> int -> 'a -> 'a t
+val pop : 'a t -> (int * 'a * 'a t) option
+(** Smallest priority first; among equal priorities, insertion order. *)

@@ -1,0 +1,505 @@
+open Cfg
+open Automaton
+
+type costs = {
+  transition : int;
+  reverse_transition : int;
+  production_step : int;
+  duplicate_production : int;
+  reduction : int;
+  off_path : int;
+}
+
+(* Tuned empirically (see bench/main.ml's ablation): making production steps
+   markedly dearer than transitions and reductions free orders leaf-heavy
+   completions first and shrinks explored configurations by 10-30x on the
+   corpus without changing any outcome. *)
+let default_costs =
+  { transition = 1;
+    reverse_transition = 1;
+    production_step = 4;
+    duplicate_production = 12;
+    reduction = 0;
+    off_path = 4 }
+
+type entry = {
+  state : int;
+  item : Item.t;
+}
+
+(* A configuration of the outward search (paper, Fig. 8): one item sequence
+   and one partial-derivation list per simulated parser copy. Invariants:
+
+   - consecutive entries of a sequence are connected by a production step
+     (same state, next item has dot 0 on a production of the symbol at the
+     previous item's dot) or by a transition/goto (next item is the previous
+     one advanced, in the successor state);
+   - the first entries of both sequences are in the same state;
+   - [derivs] holds one derivation per transition/goto edge, in order, and
+     the two sides' derivation frontiers spell the same symbol string. *)
+type config = {
+  seq1 : entry list;
+  derivs1 : Derivation.t list;
+  seq2 : entry list;
+  derivs2 : Derivation.t list;
+  anchor1 : int;  (** index of the conflict item entry; -1 once reduced *)
+  anchor2 : int;
+  complete1 : bool;  (** stage 1 done: conflict reduce item reduced *)
+  complete2 : bool;  (** stage 2 done: other conflict item's production reduced *)
+  shifted_conflict : bool;
+      (** the conflict terminal has been consumed by a forward transition *)
+}
+
+type stats = {
+  configs_explored : int;
+  elapsed : float;
+}
+
+type unifying = {
+  nonterminal : int;
+  form : Symbol.t list;
+  deriv1 : Derivation.t;
+  deriv2 : Derivation.t;
+}
+
+type outcome =
+  | Unifying of unifying * stats
+  | Timeout of stats
+  | Exhausted of stats
+
+(* ------------------------------------------------------------------ *)
+
+module Key = struct
+  type t = config
+
+  let entry_equal e1 e2 = e1.state = e2.state && Item.equal e1.item e2.item
+
+  let equal c1 c2 =
+    c1.complete1 = c2.complete1 && c1.complete2 = c2.complete2
+    && c1.shifted_conflict = c2.shifted_conflict
+    && c1.anchor1 = c2.anchor1 && c1.anchor2 = c2.anchor2
+    && List.length c1.seq1 = List.length c2.seq1
+    && List.length c1.seq2 = List.length c2.seq2
+    && List.for_all2 entry_equal c1.seq1 c2.seq1
+    && List.for_all2 entry_equal c1.seq2 c2.seq2
+
+  let hash c =
+    let entry_hash acc e = (acc * 65599) + (e.state * 31) + Item.hash e.item in
+    let h = List.fold_left entry_hash 17 c.seq1 in
+    let h = List.fold_left entry_hash (h + 3) c.seq2 in
+    (h * 4)
+    + (if c.complete1 then 1 else 0)
+    + (if c.complete2 then 2 else 0)
+    + if c.shifted_conflict then 4 else 0
+end
+
+module Ktbl = Hashtbl.Make (Key)
+
+let last_exn l = List.nth l (List.length l - 1)
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+let drop n l = List.filteri (fun i _ -> i >= n) l
+
+(* ------------------------------------------------------------------ *)
+
+type context = {
+  lalr : Lalr.t;
+  g : Grammar.t;
+  analysis : Analysis.t;
+  lr0 : Lr0.t;
+  costs : costs;
+  terminal : int;  (* the conflict terminal *)
+  on_path : int -> bool;
+  extended : bool;
+  is_shift_reduce : bool;
+  shift_dot : int option;  (* original dot of the shift item, for the marker *)
+}
+
+(* Can the expansion of [rhs] (of a production-step target) begin with the
+   conflict terminal, or vanish entirely so that a later symbol provides it?
+   Used to prune forward production steps before the conflict terminal has
+   been consumed. *)
+let can_lead_to ctx rhs t =
+  let set, nullable = Analysis.first_of_seq ctx.analysis rhs ~from:0 in
+  nullable || Bitset.mem set t
+
+let lookahead_of ctx state item = Lalr.lookahead_item ctx.lalr state item
+
+(* The terminal the product parser will consume next, if it is already
+   determined by the other side's last item. *)
+let next_terminal_hint ctx other_last =
+  match Item.next_symbol ctx.g other_last.item with
+  | Some (Symbol.Terminal t) -> Some t
+  | Some (Symbol.Nonterminal _) | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Successor moves. Each returns (cost delta, new config). *)
+
+let forward_transition ctx cfg =
+  let l1 = last_exn cfg.seq1 and l2 = last_exn cfg.seq2 in
+  match Item.next_symbol ctx.g l1.item, Item.next_symbol ctx.g l2.item with
+  | Some z1, Some z2 when Symbol.equal z1 z2 ->
+    let allowed =
+      cfg.shifted_conflict
+      || Symbol.equal z1 (Symbol.Terminal ctx.terminal)
+    in
+    if not allowed then []
+    else begin
+      match Lr0.transition ctx.lr0 l1.state z1, Lr0.transition ctx.lr0 l2.state z1 with
+      | Some s1', Some s2' ->
+        let leaf = Derivation.leaf z1 in
+        [ ( ctx.costs.transition,
+            { cfg with
+              seq1 = cfg.seq1 @ [ { state = s1'; item = Item.advance l1.item } ];
+              derivs1 = cfg.derivs1 @ [ leaf ];
+              seq2 = cfg.seq2 @ [ { state = s2'; item = Item.advance l2.item } ];
+              derivs2 = cfg.derivs2 @ [ leaf ];
+              shifted_conflict = true } ) ]
+      | None, _ | _, None -> []
+    end
+  | _, _ -> []
+
+let forward_production_steps ctx cfg ~side =
+  let seq = if side = 1 then cfg.seq1 else cfg.seq2 in
+  let l = last_exn seq in
+  (* If the other side already fixes the next terminal, only expansions that
+     can start with it (or vanish) are worth taking. *)
+  let other_hint =
+    if not cfg.shifted_conflict then Some ctx.terminal
+    else next_terminal_hint ctx (last_exn (if side = 1 then cfg.seq2 else cfg.seq1))
+  in
+  match Item.next_symbol ctx.g l.item with
+  | Some (Symbol.Nonterminal nt) ->
+    List.filter_map
+      (fun p ->
+        let item' = Item.make p 0 in
+        let rhs = (Grammar.production ctx.g p).Grammar.rhs in
+        if
+          match other_hint with
+          | Some t -> not (can_lead_to ctx rhs t)
+          | None -> false
+        then None
+        else begin
+          let entry' = { state = l.state; item = item' } in
+          let duplicate =
+            List.exists (fun e -> Key.entry_equal e entry') seq
+          in
+          let cost =
+            if duplicate then ctx.costs.duplicate_production
+            else ctx.costs.production_step
+          in
+          let cfg' =
+            if side = 1 then { cfg with seq1 = cfg.seq1 @ [ entry' ] }
+            else { cfg with seq2 = cfg.seq2 @ [ entry' ] }
+          in
+          Some (cost, cfg')
+        end)
+      (Grammar.productions_of ctx.g nt)
+  | Some (Symbol.Terminal _) | None -> []
+
+(* Reduction on one side (paper, Fig. 10(f)). *)
+let reduction ctx cfg ~side =
+  let seq, derivs, anchor =
+    if side = 1 then cfg.seq1, cfg.derivs1, cfg.anchor1
+    else cfg.seq2, cfg.derivs2, cfg.anchor2
+  in
+  let l = last_exn seq in
+  if not (Item.is_reduce ctx.g l.item) then []
+  else begin
+    let prod = Item.production ctx.g l.item in
+    let len_rhs = Array.length prod.Grammar.rhs in
+    let len_seq = List.length seq in
+    if len_seq < len_rhs + 2 then []
+    else begin
+      (* Respect the lookahead set: if the next terminal is already
+         determined, the reduce item must admit it; before the conflict
+         terminal is consumed, the conflict terminal itself must be
+         admissible. *)
+      let la = lookahead_of ctx l.state l.item in
+      let other_last = last_exn (if side = 1 then cfg.seq2 else cfg.seq1) in
+      let hint = next_terminal_hint ctx other_last in
+      let ok =
+        (match hint with Some t -> Bitset.mem la t | None -> true)
+        && (cfg.shifted_conflict || Bitset.mem la ctx.terminal)
+      in
+      if not ok then []
+      else begin
+        let keep = len_seq - len_rhs - 1 in
+        let kept = take keep seq in
+        let ctx_entry = last_exn kept in
+        (match Item.next_symbol ctx.g ctx_entry.item with
+        | Some (Symbol.Nonterminal nt) when nt = prod.Grammar.lhs -> ()
+        | _ -> assert false);
+        match Lr0.transition ctx.lr0 ctx_entry.state
+                (Symbol.Nonterminal prod.Grammar.lhs)
+        with
+        | None -> assert false
+        | Some s' ->
+          let n_derivs = List.length derivs in
+          let children = drop (n_derivs - len_rhs) derivs in
+          let completes_conflict = anchor >= 0 && anchor >= keep in
+          let dot =
+            if not completes_conflict then None
+            else if side = 1 then Some len_rhs
+            else
+              match ctx.shift_dot with
+              | Some d -> Some d
+              | None -> Some len_rhs (* reduce/reduce second item *)
+          in
+          let node = Derivation.node ?dot ctx.g prod.Grammar.index children in
+          let derivs' = take (n_derivs - len_rhs) derivs @ [ node ] in
+          let seq' =
+            kept @ [ { state = s'; item = Item.advance ctx_entry.item } ]
+          in
+          let anchor' = if completes_conflict then -1 else anchor in
+          let cfg' =
+            if side = 1 then
+              { cfg with
+                seq1 = seq'; derivs1 = derivs'; anchor1 = anchor';
+                complete1 = cfg.complete1 || completes_conflict }
+            else
+              { cfg with
+                seq2 = seq'; derivs2 = derivs'; anchor2 = anchor';
+                complete2 = cfg.complete2 || completes_conflict }
+          in
+          [ (ctx.costs.reduction, cfg') ]
+      end
+    end
+  end
+
+(* How a side that ends in a reduce item must be prepared before the
+   reduction of Fig. 10(f) can fire. With [m] entries and a right-hand side
+   of length [l]:
+   - [m = l + 1]: the dot chain is complete, only the context item is
+     missing: reverse production step on this side (Fig. 10(d));
+   - [m < l + 1]: more symbols are needed: reverse transitions (Fig. 10(c)),
+     unblocked if necessary by a reverse production step on the other side
+     (Fig. 10(e));
+   - [m >= l + 2]: ready, no preparation. *)
+type preparation =
+  | No_preparation
+  | Needs_context  (* m = l + 1 *)
+  | Needs_symbols  (* m < l + 1 *)
+
+let preparation ctx seq =
+  let l = last_exn seq in
+  if not (Item.is_reduce ctx.g l.item) then No_preparation
+  else begin
+    let len_rhs = Item.rhs_length ctx.g l.item in
+    let m = List.length seq in
+    if m >= len_rhs + 2 then No_preparation
+    else if m = len_rhs + 1 then Needs_context
+    else Needs_symbols
+  end
+
+(* Reverse transition (paper, Fig. 10(c)): prepend matching predecessor
+   entries to both sequences. *)
+let reverse_transitions ctx cfg =
+  match cfg.seq1, cfg.seq2 with
+  | f1 :: _, f2 :: _ when f1.item.Item.dot > 0 && f2.item.Item.dot > 0 ->
+    assert (f1.state = f2.state);
+    let head_state = Lr0.state ctx.lr0 f1.state in
+    (match head_state.Lr0.accessing with
+    | None -> []
+    | Some z ->
+      let p1 = Item.retreat f1.item and p2 = Item.retreat f2.item in
+      List.filter_map
+        (fun s0 ->
+          let st0 = Lr0.state ctx.lr0 s0 in
+          if not (Lr0.has_item st0 p1 && Lr0.has_item st0 p2) then None
+          else if
+            (* Stage-1 lookahead condition on the first parser's item. *)
+            (not cfg.complete1)
+            && not (Bitset.mem (lookahead_of ctx s0 p1) ctx.terminal)
+          then None
+          else begin
+            let off_path = not (ctx.on_path s0) in
+            if off_path && not ctx.extended then None
+            else begin
+              let cost =
+                ctx.costs.reverse_transition
+                + if off_path then ctx.costs.off_path else 0
+              in
+              let leaf = Derivation.leaf z in
+              let bump a = if a < 0 then a else a + 1 in
+              Some
+                ( cost,
+                  { cfg with
+                    seq1 = { state = s0; item = p1 } :: cfg.seq1;
+                    derivs1 = leaf :: cfg.derivs1;
+                    seq2 = { state = s0; item = p2 } :: cfg.seq2;
+                    derivs2 = leaf :: cfg.derivs2;
+                    anchor1 = bump cfg.anchor1;
+                    anchor2 = bump cfg.anchor2 } )
+            end
+          end)
+        (Lr0.predecessors ctx.lr0 f1.state))
+  | _, _ -> []
+
+(* Reverse production step (paper, Fig. 10(d)/(e)): prepend a context item of
+   the same state to whichever sequence starts with a dot-0 item. *)
+let reverse_production_steps ctx cfg ~side =
+  let seq = if side = 1 then cfg.seq1 else cfg.seq2 in
+  match seq with
+  | f :: _ when f.item.Item.dot = 0 ->
+    let lhs = (Item.production ctx.g f.item).Grammar.lhs in
+    (* Precise-lookahead pruning: while the conflict reduction is still
+       pending on this side (stage 1, and stage 2 of reduce/reduce
+       conflicts), the conflict terminal must be able to follow the reduced
+       nonterminal in the prepended context, i.e. belong to the context
+       item's followL. This is sound — the LALR lookahead used is an
+       overapproximation — and prunes contexts that can never exhibit the
+       conflict. *)
+    let conflict_reduction_pending =
+      if side = 1 then not cfg.complete1
+      else (not ctx.is_shift_reduce) && not cfg.complete2
+    in
+    List.filter_map
+      (fun ctx_item ->
+        let follow =
+          Analysis.follow_l ctx.analysis (Item.production ctx.g ctx_item)
+            ~dot:ctx_item.Item.dot
+            (lookahead_of ctx f.state ctx_item)
+        in
+        if conflict_reduction_pending && not (Bitset.mem follow ctx.terminal)
+        then None
+        else begin
+          let entry = { state = f.state; item = ctx_item } in
+          let bump a = if a < 0 then a else a + 1 in
+          let duplicate = List.exists (fun e -> Key.entry_equal e entry) seq in
+          let cost =
+            if duplicate then ctx.costs.duplicate_production
+            else ctx.costs.production_step
+          in
+          let cfg' =
+            if side = 1 then
+              { cfg with seq1 = entry :: cfg.seq1; anchor1 = bump cfg.anchor1 }
+            else
+              { cfg with seq2 = entry :: cfg.seq2; anchor2 = bump cfg.anchor2 }
+          in
+          Some (cost, cfg')
+        end)
+      (Lr0.items_with_next ctx.lr0 f.state (Symbol.Nonterminal lhs))
+  | _ -> []
+
+let successors ctx cfg =
+  let moves = ref [] in
+  let push l = moves := l @ !moves in
+  push (forward_transition ctx cfg);
+  push (forward_production_steps ctx cfg ~side:1);
+  push (forward_production_steps ctx cfg ~side:2);
+  push (reduction ctx cfg ~side:1);
+  push (reduction ctx cfg ~side:2);
+  let prep1 = preparation ctx cfg.seq1 and prep2 = preparation ctx cfg.seq2 in
+  (match prep1 with
+  | Needs_context -> push (reverse_production_steps ctx cfg ~side:1)
+  | Needs_symbols | No_preparation -> ());
+  (match prep2 with
+  | Needs_context -> push (reverse_production_steps ctx cfg ~side:2)
+  | Needs_symbols | No_preparation -> ());
+  if prep1 = Needs_symbols || prep2 = Needs_symbols then begin
+    match cfg.seq1, cfg.seq2 with
+    | f1 :: _, f2 :: _ ->
+      if f1.item.Item.dot > 0 && f2.item.Item.dot > 0 then
+        push (reverse_transitions ctx cfg)
+      else begin
+        (* Unblock reverse transitions (Fig. 10(e)): undo the production step
+           that created whichever front item has its dot at 0. *)
+        if f1.item.Item.dot = 0 then
+          push (reverse_production_steps ctx cfg ~side:1);
+        if f2.item.Item.dot = 0 then
+          push (reverse_production_steps ctx cfg ~side:2)
+      end
+    | _, _ -> assert false
+  end;
+  !moves
+
+(* Success (paper, section 5.4): both sequences have become a single
+   transition over the same nonterminal, and the two derivations of that
+   nonterminal differ. *)
+let success ctx cfg =
+  if not (cfg.complete1 && cfg.complete2) then None
+  else
+    match cfg.seq1, cfg.seq2, cfg.derivs1, cfg.derivs2 with
+    | [ a1; _b1 ], [ a2; _b2 ], [ d1 ], [ d2 ] -> (
+      match Item.next_symbol ctx.g a1.item, Item.next_symbol ctx.g a2.item with
+      | Some (Symbol.Nonterminal n1), Some (Symbol.Nonterminal n2)
+        when n1 = n2 && not (Derivation.equal d1 d2) ->
+        Some { nonterminal = n1; form = Derivation.leaves d1; deriv1 = d1;
+               deriv2 = d2 }
+      | _, _ -> None)
+    | _, _, _, _ -> None
+
+(* ------------------------------------------------------------------ *)
+
+let search ?(costs = default_costs) ?(extended = false) ?(time_limit = 5.0)
+    ?(max_configs = 400_000) lalr ~(conflict : Conflict.t) ~path_states =
+  let started = Unix.gettimeofday () in
+  let path_set = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace path_set s ()) path_states;
+  let ctx =
+    { lalr;
+      g = Lalr.grammar lalr;
+      analysis = Lalr.analysis lalr;
+      lr0 = Lalr.lr0 lalr;
+      costs;
+      terminal = conflict.Conflict.terminal;
+      on_path = (fun s -> Hashtbl.mem path_set s);
+      extended;
+      is_shift_reduce = Conflict.is_shift_reduce conflict;
+      shift_dot =
+        (match conflict.Conflict.kind with
+        | Conflict.Shift_reduce { shift_item; _ } -> Some shift_item.Item.dot
+        | Conflict.Reduce_reduce _ -> None) }
+  in
+  let initial =
+    { seq1 =
+        [ { state = conflict.Conflict.state; item = Conflict.reduce_item conflict } ];
+      derivs1 = [];
+      seq2 =
+        [ { state = conflict.Conflict.state; item = Conflict.other_item conflict } ];
+      derivs2 = [];
+      anchor1 = 0;
+      anchor2 = 0;
+      complete1 = false;
+      complete2 = false;
+      shifted_conflict = false }
+  in
+  let visited = Ktbl.create 4096 in
+  let queue = ref (Pqueue.add Pqueue.empty 0 initial) in
+  let explored = ref 0 in
+  let result = ref None in
+  let give_up = ref None in
+  while !result = None && !give_up = None do
+    if Pqueue.is_empty !queue then give_up := Some `Exhausted
+    else if !explored land 255 = 0 && Unix.gettimeofday () -. started > time_limit
+    then give_up := Some `Timeout
+    else if !explored > max_configs then give_up := Some `Timeout
+    else begin
+      match Pqueue.pop !queue with
+      | None -> assert false
+      | Some (cost, cfg, rest) ->
+        queue := rest;
+        if not (Ktbl.mem visited cfg) then begin
+          Ktbl.add visited cfg ();
+          incr explored;
+          match success ctx cfg with
+          | Some u -> result := Some u
+          | None ->
+            List.iter
+              (fun (delta, cfg') ->
+                if not (Ktbl.mem visited cfg') then
+                  queue := Pqueue.add !queue (cost + delta) cfg')
+              (successors ctx cfg)
+        end
+    end
+  done;
+  let stats =
+    { configs_explored = !explored; elapsed = Unix.gettimeofday () -. started }
+  in
+  match !result, !give_up with
+  | Some u, _ -> Unifying (u, stats)
+  | None, Some `Timeout -> Timeout stats
+  | None, Some `Exhausted -> Exhausted stats
+  | None, None -> assert false

@@ -1,0 +1,67 @@
+(** The outward product-parser search for unifying counterexamples (paper,
+    section 5).
+
+    Two copies of the parser are simulated from the conflict state outwards:
+    copy 1 is forced to use the conflict reduce item, copy 2 the shift item
+    (or second reduce item). Configurations pair an item sequence and a
+    partial-derivation list per copy; moves are the paper's Fig. 10 edges
+    (forward/reverse transitions and production steps, and reductions).
+    The search is cost-ordered (cheapest configuration first) and succeeds
+    when both copies have completed a derivation of the same nonterminal over
+    the same symbol string — the unifying counterexample.
+
+    By default, reverse transitions are restricted to states on the shortest
+    lookahead-sensitive path (the paper's practical tradeoff, section 6);
+    [extended] lifts the restriction, trading speed for completeness. *)
+
+open Cfg
+open Automaton
+
+type costs = {
+  transition : int;
+  reverse_transition : int;
+  production_step : int;
+  duplicate_production : int;
+      (** charged instead of [production_step] when the production step
+          re-creates an entry already present in the sequence (the paper's
+          "postpone repeated expansions") *)
+  reduction : int;
+  off_path : int;
+      (** surcharge for reverse transitions leaving the shortest
+          lookahead-sensitive path (extended search only) *)
+}
+
+val default_costs : costs
+
+type stats = {
+  configs_explored : int;
+  elapsed : float;  (** seconds *)
+}
+
+type unifying = {
+  nonterminal : int;  (** the ambiguous (unifying) nonterminal *)
+  form : Symbol.t list;  (** the counterexample: frontier of both derivations *)
+  deriv1 : Derivation.t;  (** derivation using the reduce item *)
+  deriv2 : Derivation.t;  (** derivation using the shift / second reduce item *)
+}
+
+type outcome =
+  | Unifying of unifying * stats
+  | Timeout of stats  (** time or configuration budget exhausted *)
+  | Exhausted of stats
+      (** search space exhausted without success under the current
+          restriction; with [extended:true] this proves no unifying
+          counterexample exists through the conflict items *)
+
+val search :
+  ?costs:costs ->
+  ?extended:bool ->
+  ?time_limit:float ->
+  ?max_configs:int ->
+  Lalr.t ->
+  conflict:Conflict.t ->
+  path_states:int list ->
+  outcome
+(** [path_states] is {!Lookahead_path.states_on_path} of the conflict's
+    shortest lookahead-sensitive path. Defaults: 5 s, 400k configurations
+    (the paper's per-conflict limit is 5 s). *)

@@ -1,0 +1,72 @@
+open Cfg
+open Automaton
+
+(* CUP prefixes its conflict messages this way; we keep the format of the
+   paper's Fig. 11. *)
+let pp_conflict_header g ppf (c : Conflict.t) =
+  match c.Conflict.kind with
+  | Conflict.Shift_reduce { shift_item; reduce_item } ->
+    Fmt.pf ppf
+      "Warning : *** Shift/Reduce conflict found in state #%d@,\
+       between reduction on %a@,\
+       and shift on %a@,\
+       under symbol %s"
+      c.Conflict.state (Item.pp g) reduce_item (Item.pp g) shift_item
+      (Grammar.terminal_name g c.Conflict.terminal)
+  | Conflict.Reduce_reduce { reduce1; reduce2; terminals } ->
+    Fmt.pf ppf
+      "Warning : *** Reduce/Reduce conflict found in state #%d@,\
+       between reduction on %a@,\
+       and reduction on %a@,\
+       under symbols %a"
+      c.Conflict.state (Item.pp g) reduce1 (Item.pp g) reduce2
+      (Bitset.pp ~name:(Grammar.terminal_name g))
+      terminals
+
+let other_action_label (c : Conflict.t) =
+  if Conflict.is_shift_reduce c then "shift" else "second reduction"
+
+let pp_unifying g ~label ppf (u : Product_search.unifying) =
+  Fmt.pf ppf
+    "Ambiguity detected for nonterminal %s@,\
+     Example: %a@,\
+     Derivation using reduction:@,\
+    \  %a@,\
+     Derivation using %s:@,\
+    \  %a"
+    (Grammar.nonterminal_name g u.Product_search.nonterminal)
+    (Derivation.pp_frontier_with_dot g)
+    u.Product_search.deriv1 (Derivation.pp g) u.Product_search.deriv1 label
+    (Derivation.pp g) u.Product_search.deriv2
+
+let pp_counterexample g ~label ppf = function
+  | Driver.Unifying u -> pp_unifying g ~label ppf u
+  | Driver.Nonunifying nu ->
+    Fmt.pf ppf "No unifying counterexample found within limits@,%a"
+      (Nonunifying.pp g) nu
+
+let pp_conflict_report g ppf (cr : Driver.conflict_report) =
+  Fmt.pf ppf "@[<v>%a@," (pp_conflict_header g) cr.Driver.conflict;
+  (match cr.Driver.counterexample with
+  | Some c ->
+    pp_counterexample g ~label:(other_action_label cr.Driver.conflict) ppf c
+  | None -> Fmt.string ppf "No counterexample could be constructed");
+  Fmt.pf ppf "@]"
+
+let pp_report ppf (r : Driver.report) =
+  let g = Driver.grammar r in
+  let n = List.length r.Driver.conflict_reports in
+  if n = 0 then Fmt.pf ppf "No conflicts: the grammar is LALR(1).@."
+  else begin
+    Fmt.pf ppf "%d conflict%s found.@.@." n (if n = 1 then "" else "s");
+    List.iter
+      (fun cr -> Fmt.pf ppf "%a@.@." (pp_conflict_report g) cr)
+      r.Driver.conflict_reports;
+    Fmt.pf ppf
+      "Summary: %d unifying, %d provably-nonunifying, %d timed out; %.3fs \
+       total.@."
+      (Driver.n_unifying r) (Driver.n_nonunifying r) (Driver.n_timeout r)
+      r.Driver.total_elapsed
+  end
+
+let to_string r = Fmt.str "%a" pp_report r

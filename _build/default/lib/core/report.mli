@@ -1,0 +1,21 @@
+(** Human-readable conflict reports in the style of CUP extended with
+    counterexamples — the paper's Fig. 11. *)
+
+open Cfg
+open Automaton
+
+val pp_conflict_header : Grammar.t -> Format.formatter -> Conflict.t -> unit
+(** The first four lines of Fig. 11 (original to CUP). *)
+
+val pp_unifying :
+  Grammar.t -> label:string -> Format.formatter -> Product_search.unifying ->
+  unit
+
+val pp_counterexample :
+  Grammar.t -> label:string -> Format.formatter -> Driver.counterexample -> unit
+
+val pp_conflict_report :
+  Grammar.t -> Format.formatter -> Driver.conflict_report -> unit
+
+val pp_report : Format.formatter -> Driver.report -> unit
+val to_string : Driver.report -> string

@@ -1,0 +1,1 @@
+lib/corpus/corpus.ml: C_grammars Cfg Fmt Java_grammars List Ours_grammars Paper_grammars Pascal_grammars Sql_grammars Stack_grammars String

@@ -1,0 +1,1 @@
+lib/corpus/corpus.mli: C_grammars Cfg Java_grammars Ours_grammars Paper_grammars Pascal_grammars Sql_grammars Stack_grammars

@@ -1,0 +1,1 @@
+lib/corpus/c_grammars.ml:

@@ -1,0 +1,1 @@
+lib/corpus/java_grammars.ml:

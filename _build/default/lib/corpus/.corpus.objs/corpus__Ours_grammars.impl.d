@@ -1,0 +1,1 @@
+lib/corpus/ours_grammars.ml:

@@ -1,0 +1,1 @@
+lib/corpus/paper_grammars.ml:

@@ -1,0 +1,1 @@
+lib/corpus/pascal_grammars.ml:

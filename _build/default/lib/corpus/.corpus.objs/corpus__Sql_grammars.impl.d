@@ -1,0 +1,1 @@
+lib/corpus/sql_grammars.ml:

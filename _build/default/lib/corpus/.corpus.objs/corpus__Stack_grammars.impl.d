@@ -1,0 +1,1 @@
+lib/corpus/stack_grammars.ml:

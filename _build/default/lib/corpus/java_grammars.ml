@@ -1,0 +1,722 @@
+(** Java grammars in the BV10 style, after the JLS (first edition) LALR(1)
+    grammar that also underlies the CUP distribution's java grammar: a
+    conflict-free base (the dangling else factored through
+    [statement_no_short_if], as in the JLS) and five variants with injected
+    conflicts, plus the two "java-ext" extension grammars whose conflicts
+    defeat the search budget (Table 1's T/L rows). *)
+
+let base =
+  {|
+%start compilation_unit
+
+literal
+  : INT_LIT
+  | FLOAT_LIT
+  | BOOL_LIT
+  | CHAR_LIT
+  | STRING_LIT
+  | NULL_LIT
+  ;
+
+type_ : primitive_type
+      | reference_type
+      ;
+primitive_type
+  : numeric_type
+  | BOOLEAN
+  ;
+numeric_type
+  : integral_type
+  | floating_point_type
+  ;
+integral_type
+  : BYTE
+  | SHORT
+  | INT
+  | LONG
+  | CHAR
+  ;
+floating_point_type
+  : FLOAT
+  | DOUBLE
+  ;
+reference_type
+  : class_or_interface_type
+  | array_type
+  ;
+class_or_interface_type
+  : name
+  ;
+class_type
+  : class_or_interface_type
+  ;
+interface_type
+  : class_or_interface_type
+  ;
+array_type
+  : primitive_type dims
+  | name dims
+  ;
+
+name
+  : simple_name
+  | qualified_name
+  ;
+simple_name
+  : ID
+  ;
+qualified_name
+  : name '.' ID
+  ;
+
+compilation_unit
+  : package_declaration_opt import_declarations_opt type_declarations_opt
+  ;
+package_declaration_opt
+  : package_declaration
+  |
+  ;
+import_declarations_opt
+  : import_declarations
+  |
+  ;
+type_declarations_opt
+  : type_declarations
+  |
+  ;
+import_declarations
+  : import_declaration
+  | import_declarations import_declaration
+  ;
+type_declarations
+  : type_declaration
+  | type_declarations type_declaration
+  ;
+package_declaration
+  : PACKAGE name ';'
+  ;
+import_declaration
+  : single_type_import_declaration
+  | type_import_on_demand_declaration
+  ;
+single_type_import_declaration
+  : IMPORT name ';'
+  ;
+type_import_on_demand_declaration
+  : IMPORT name '.' '*' ';'
+  ;
+type_declaration
+  : class_declaration
+  | interface_declaration
+  | ';'
+  ;
+
+modifiers_opt
+  : modifiers
+  |
+  ;
+modifiers
+  : modifier
+  | modifiers modifier
+  ;
+modifier
+  : PUBLIC
+  | PROTECTED
+  | PRIVATE
+  | STATIC
+  | ABSTRACT
+  | FINAL
+  | NATIVE
+  | SYNCHRONIZED
+  | TRANSIENT
+  | VOLATILE
+  ;
+
+class_declaration
+  : modifiers_opt CLASS ID super_opt interfaces_opt class_body
+  ;
+super_opt
+  : EXTENDS class_type
+  |
+  ;
+interfaces_opt
+  : interfaces
+  |
+  ;
+interfaces
+  : IMPLEMENTS interface_type_list
+  ;
+interface_type_list
+  : interface_type
+  | interface_type_list ',' interface_type
+  ;
+class_body
+  : '{' class_body_declarations_opt '}'
+  ;
+class_body_declarations_opt
+  : class_body_declarations
+  |
+  ;
+class_body_declarations
+  : class_body_declaration
+  | class_body_declarations class_body_declaration
+  ;
+class_body_declaration
+  : class_member_declaration
+  | static_initializer
+  | constructor_declaration
+  ;
+class_member_declaration
+  : field_declaration
+  | method_declaration
+  ;
+
+field_declaration
+  : modifiers_opt type_ variable_declarators ';'
+  ;
+variable_declarators
+  : variable_declarator
+  | variable_declarators ',' variable_declarator
+  ;
+variable_declarator
+  : variable_declarator_id
+  | variable_declarator_id '=' variable_initializer
+  ;
+variable_declarator_id
+  : ID
+  | variable_declarator_id '[' ']'
+  ;
+variable_initializer
+  : expression
+  | array_initializer
+  ;
+
+method_declaration
+  : method_header method_body
+  ;
+method_header
+  : modifiers_opt type_ method_declarator throws_opt
+  | modifiers_opt VOID method_declarator throws_opt
+  ;
+method_declarator
+  : ID '(' formal_parameter_list_opt ')'
+  | method_declarator '[' ']'
+  ;
+formal_parameter_list_opt
+  : formal_parameter_list
+  |
+  ;
+formal_parameter_list
+  : formal_parameter
+  | formal_parameter_list ',' formal_parameter
+  ;
+formal_parameter
+  : type_ variable_declarator_id
+  ;
+throws_opt
+  : throws
+  |
+  ;
+throws
+  : THROWS class_type_list
+  ;
+class_type_list
+  : class_type
+  | class_type_list ',' class_type
+  ;
+method_body
+  : block
+  | ';'
+  ;
+
+static_initializer
+  : STATIC block
+  ;
+
+constructor_declaration
+  : modifiers_opt constructor_declarator throws_opt constructor_body
+  ;
+constructor_declarator
+  : simple_name '(' formal_parameter_list_opt ')'
+  ;
+constructor_body
+  : '{' explicit_constructor_invocation block_statements '}'
+  | '{' explicit_constructor_invocation '}'
+  | '{' block_statements '}'
+  | '{' '}'
+  ;
+explicit_constructor_invocation
+  : THIS '(' argument_list_opt ')' ';'
+  | SUPER '(' argument_list_opt ')' ';'
+  ;
+
+interface_declaration
+  : modifiers_opt INTERFACE ID extends_interfaces_opt interface_body
+  ;
+extends_interfaces_opt
+  : extends_interfaces
+  |
+  ;
+extends_interfaces
+  : EXTENDS interface_type
+  | extends_interfaces ',' interface_type
+  ;
+interface_body
+  : '{' interface_member_declarations_opt '}'
+  ;
+interface_member_declarations_opt
+  : interface_member_declarations
+  |
+  ;
+interface_member_declarations
+  : interface_member_declaration
+  | interface_member_declarations interface_member_declaration
+  ;
+interface_member_declaration
+  : constant_declaration
+  | abstract_method_declaration
+  ;
+constant_declaration
+  : field_declaration
+  ;
+abstract_method_declaration
+  : method_header ';'
+  ;
+
+array_initializer
+  : '{' variable_initializers ',' '}'
+  | '{' variable_initializers '}'
+  | '{' ',' '}'
+  | '{' '}'
+  ;
+variable_initializers
+  : variable_initializer
+  | variable_initializers ',' variable_initializer
+  ;
+
+block
+  : '{' block_statements_opt '}'
+  ;
+block_statements_opt
+  : block_statements
+  |
+  ;
+block_statements
+  : block_statement
+  | block_statements block_statement
+  ;
+block_statement
+  : local_variable_declaration_statement
+  | statement
+  ;
+local_variable_declaration_statement
+  : local_variable_declaration ';'
+  ;
+local_variable_declaration
+  : type_ variable_declarators
+  ;
+
+statement
+  : statement_without_trailing_substatement
+  | labeled_statement
+  | if_then_statement
+  | if_then_else_statement
+  | while_statement
+  | for_statement
+  ;
+statement_no_short_if
+  : statement_without_trailing_substatement
+  | labeled_statement_no_short_if
+  | if_then_else_statement_no_short_if
+  | while_statement_no_short_if
+  | for_statement_no_short_if
+  ;
+statement_without_trailing_substatement
+  : block
+  | empty_statement
+  | expression_statement
+  | switch_statement
+  | do_statement
+  | break_statement
+  | continue_statement
+  | return_statement
+  | synchronized_statement
+  | throw_statement
+  | try_statement
+  ;
+empty_statement
+  : ';'
+  ;
+labeled_statement
+  : ID ':' statement
+  ;
+labeled_statement_no_short_if
+  : ID ':' statement_no_short_if
+  ;
+expression_statement
+  : statement_expression ';'
+  ;
+statement_expression
+  : assignment
+  | preincrement_expression
+  | predecrement_expression
+  | postincrement_expression
+  | postdecrement_expression
+  | method_invocation
+  | class_instance_creation_expression
+  ;
+if_then_statement
+  : IF '(' expression ')' statement
+  ;
+if_then_else_statement
+  : IF '(' expression ')' statement_no_short_if ELSE statement
+  ;
+if_then_else_statement_no_short_if
+  : IF '(' expression ')' statement_no_short_if ELSE statement_no_short_if
+  ;
+switch_statement
+  : SWITCH '(' expression ')' switch_block
+  ;
+switch_block
+  : '{' switch_block_statement_groups switch_labels '}'
+  | '{' switch_block_statement_groups '}'
+  | '{' switch_labels '}'
+  | '{' '}'
+  ;
+switch_block_statement_groups
+  : switch_block_statement_group
+  | switch_block_statement_groups switch_block_statement_group
+  ;
+switch_block_statement_group
+  : switch_labels block_statements
+  ;
+switch_labels
+  : switch_label
+  | switch_labels switch_label
+  ;
+switch_label
+  : CASE constant_expression ':'
+  | DEFAULT ':'
+  ;
+while_statement
+  : WHILE '(' expression ')' statement
+  ;
+while_statement_no_short_if
+  : WHILE '(' expression ')' statement_no_short_if
+  ;
+do_statement
+  : DO statement WHILE '(' expression ')' ';'
+  ;
+for_statement
+  : FOR '(' for_init_opt ';' expression_opt ';' for_update_opt ')' statement
+  ;
+for_statement_no_short_if
+  : FOR '(' for_init_opt ';' expression_opt ';' for_update_opt ')'
+    statement_no_short_if
+  ;
+for_init_opt
+  : for_init
+  |
+  ;
+for_init
+  : statement_expression_list
+  | local_variable_declaration
+  ;
+for_update_opt
+  : statement_expression_list
+  |
+  ;
+statement_expression_list
+  : statement_expression
+  | statement_expression_list ',' statement_expression
+  ;
+expression_opt
+  : expression
+  |
+  ;
+break_statement
+  : BREAK identifier_opt ';'
+  ;
+continue_statement
+  : CONTINUE identifier_opt ';'
+  ;
+identifier_opt
+  : ID
+  |
+  ;
+return_statement
+  : RETURN expression_opt ';'
+  ;
+throw_statement
+  : THROW expression ';'
+  ;
+synchronized_statement
+  : SYNCHRONIZED '(' expression ')' block
+  ;
+try_statement
+  : TRY block catches
+  | TRY block catches_opt finally_
+  ;
+catches_opt
+  : catches
+  |
+  ;
+catches
+  : catch_clause
+  | catches catch_clause
+  ;
+catch_clause
+  : CATCH '(' formal_parameter ')' block
+  ;
+finally_
+  : FINALLY block
+  ;
+
+primary
+  : primary_no_new_array
+  | array_creation_expression
+  ;
+primary_no_new_array
+  : literal
+  | THIS
+  | '(' expression ')'
+  | class_instance_creation_expression
+  | field_access
+  | method_invocation
+  | array_access
+  ;
+class_instance_creation_expression
+  : NEW class_type '(' argument_list_opt ')'
+  ;
+argument_list_opt
+  : argument_list
+  |
+  ;
+argument_list
+  : expression
+  | argument_list ',' expression
+  ;
+array_creation_expression
+  : NEW primitive_type dim_exprs dims_opt
+  | NEW class_or_interface_type dim_exprs dims_opt
+  ;
+dim_exprs
+  : dim_expr
+  | dim_exprs dim_expr
+  ;
+dim_expr
+  : '[' expression ']'
+  ;
+dims_opt
+  : dims
+  |
+  ;
+dims
+  : '[' ']'
+  | dims '[' ']'
+  ;
+field_access
+  : primary '.' ID
+  | SUPER '.' ID
+  ;
+method_invocation
+  : name '(' argument_list_opt ')'
+  | primary '.' ID '(' argument_list_opt ')'
+  | SUPER '.' ID '(' argument_list_opt ')'
+  ;
+array_access
+  : name '[' expression ']'
+  | primary_no_new_array '[' expression ']'
+  ;
+
+postfix_expression
+  : primary
+  | name
+  | postincrement_expression
+  | postdecrement_expression
+  ;
+postincrement_expression
+  : postfix_expression INCR
+  ;
+postdecrement_expression
+  : postfix_expression DECR
+  ;
+unary_expression
+  : preincrement_expression
+  | predecrement_expression
+  | '+' unary_expression
+  | '-' unary_expression
+  | unary_expression_not_plus_minus
+  ;
+preincrement_expression
+  : INCR unary_expression
+  ;
+predecrement_expression
+  : DECR unary_expression
+  ;
+unary_expression_not_plus_minus
+  : postfix_expression
+  | '~' unary_expression
+  | '!' unary_expression
+  | cast_expression
+  ;
+cast_expression
+  : '(' primitive_type dims_opt ')' unary_expression
+  | '(' expression ')' unary_expression_not_plus_minus
+  | '(' name dims ')' unary_expression_not_plus_minus
+  ;
+multiplicative_expression
+  : unary_expression
+  | multiplicative_expression '*' unary_expression
+  | multiplicative_expression '/' unary_expression
+  | multiplicative_expression '%' unary_expression
+  ;
+additive_expression
+  : multiplicative_expression
+  | additive_expression '+' multiplicative_expression
+  | additive_expression '-' multiplicative_expression
+  ;
+shift_expression
+  : additive_expression
+  | shift_expression LSHIFT additive_expression
+  | shift_expression RSHIFT additive_expression
+  | shift_expression URSHIFT additive_expression
+  ;
+relational_expression
+  : shift_expression
+  | relational_expression '<' shift_expression
+  | relational_expression '>' shift_expression
+  | relational_expression '<=' shift_expression
+  | relational_expression '>=' shift_expression
+  | relational_expression INSTANCEOF reference_type
+  ;
+equality_expression
+  : relational_expression
+  | equality_expression '==' relational_expression
+  | equality_expression '!=' relational_expression
+  ;
+and_expression
+  : equality_expression
+  | and_expression '&' equality_expression
+  ;
+exclusive_or_expression
+  : and_expression
+  | exclusive_or_expression '^' and_expression
+  ;
+inclusive_or_expression
+  : exclusive_or_expression
+  | inclusive_or_expression '|' exclusive_or_expression
+  ;
+conditional_and_expression
+  : inclusive_or_expression
+  | conditional_and_expression ANDAND inclusive_or_expression
+  ;
+conditional_or_expression
+  : conditional_and_expression
+  | conditional_or_expression OROR conditional_and_expression
+  ;
+conditional_expression
+  : conditional_or_expression
+  | conditional_or_expression '?' expression ':' conditional_expression
+  ;
+assignment_expression
+  : conditional_expression
+  | assignment
+  ;
+assignment
+  : left_hand_side assignment_operator assignment_expression
+  ;
+left_hand_side
+  : name
+  | field_access
+  | array_access
+  ;
+assignment_operator
+  : '='
+  | MULT_ASSIGN
+  | DIV_ASSIGN
+  | MOD_ASSIGN
+  | PLUS_ASSIGN
+  | MINUS_ASSIGN
+  | LSHIFT_ASSIGN
+  | RSHIFT_ASSIGN
+  | URSHIFT_ASSIGN
+  | AND_ASSIGN
+  | XOR_ASSIGN
+  | OR_ASSIGN
+  ;
+expression
+  : assignment_expression
+  ;
+constant_expression
+  : expression
+  ;
+|}
+
+(* Java.1: an unfactored if-then-else added alongside the JLS factoring. *)
+let java1 = base ^ {|
+if_then_statement : IF '(' expression ')' statement ELSE statement ;
+|}
+
+(* Java.2: the empty statement made derivable from a nullable nonterminal.
+   Statements appear everywhere, so this one injection floods the automaton
+   with conflicts (720 here; the paper's Table 1 reports 1133 for its
+   Java.2) and exercises the cumulative search budget. *)
+let java2 = base ^ {|
+empty_statement : nothing ;
+nothing : ;
+|}
+
+(* Java.3: expression statements also allowed bare (duplicating the
+   stratified statement_expression route). *)
+let java3 = base ^ {|
+statement_expression : name
+                     | primary
+                     ;
+|}
+
+(* Java.4: array dims conflated between declarator and type positions. *)
+let java4 = base ^ {|
+variable_declarator_id : ID dims ;
+formal_parameter : type_ ID dims_opt ;
+|}
+
+(* Java.5: super constructor invocations admitted as ordinary statements. *)
+let java5 = base ^ {|
+statement_expression : explicit_constructor_invocation_expr ;
+explicit_constructor_invocation_expr : SUPER '(' argument_list_opt ')' ;
+|}
+
+(* java-ext1: the base language extended with a pattern-matching construct
+   whose ambiguity requires very deep derivations; both conflicts exceed the
+   search budget (Table 1's java-ext1 row is T/L). *)
+let java_ext1 = base ^ {|
+statement : MATCH '(' expression ')' '{' match_arms '}' ;
+match_arms : match_arm
+           | match_arms match_arm
+           ;
+match_arm : pattern ARROW block_statements
+          ;
+pattern : literal
+        | name
+        | name '(' pattern_list ')'
+        | pattern OROR_PAT pattern
+        ;
+pattern_list : pattern
+             | pattern_list ',' pattern
+             ;
+match_arm : pattern ARROW block_statements match_arm ;
+|}
+
+(* java-ext2: a template/generics-flavoured extension where '<' is both a
+   relational operator and a type-argument bracket — the classic C++-style
+   conflict, far beyond the search budget. *)
+let java_ext2 = base ^ {|
+class_or_interface_type : name type_arguments ;
+type_arguments : '<' type_argument_list '>' ;
+type_argument_list : type_argument
+                   | type_argument_list ',' type_argument
+                   ;
+type_argument : reference_type ;
+relational_expression : relational_expression '<' shift_expression '>' shift_expression ;
+|}

@@ -1,0 +1,233 @@
+(** The remaining grammars of Table 1's "our grammars" block: grammars that
+    motivated the tool's development. The originals are not distributed with
+    the paper; these reconstructions exhibit the same behaviours (ambiguity
+    status, conflict character, search outcomes). *)
+
+(* A small ambiguous grammar over {A, B, C, D}: list-splitting ambiguity. *)
+let abcd =
+  {|
+%start s
+s : x y ;
+x : x A
+  |
+  ;
+y : A y
+  | b_
+  ;
+b_ : B
+   | b_ B
+   | C D
+   ;
+|}
+
+(* SIMP: a small imperative teaching language. One dangling-else conflict,
+   ambiguous. *)
+let simp2 =
+  {|
+%start prog
+prog : stmt_list ;
+stmt_list : stmt_list ';' stmt
+          | stmt
+          ;
+stmt : ID ':=' expr
+     | IF bexpr THEN stmt
+     | IF bexpr THEN stmt ELSE stmt
+     | WHILE bexpr DO stmt OD
+     | FOR ID ':=' expr TO expr DO stmt OD
+     | SKIP
+     | PRINT expr
+     | READ ID
+     | BEGIN stmt_list END
+     ;
+expr : expr '+' term
+     | expr '-' term
+     | term
+     ;
+term : term '*' factor
+     | term '/' factor
+     | term MOD factor
+     | factor
+     ;
+factor : NUM
+       | ID
+       | ID '[' expr ']'
+       | '(' expr ')'
+       | '-' factor
+       ;
+bexpr : bexpr OR bterm
+      | bterm
+      ;
+bterm : bterm AND bfactor
+      | bfactor
+      ;
+bfactor : NOT bfactor
+        | TRUE
+        | FALSE
+        | expr relop expr
+        ;
+relop : '='
+      | '<'
+      | '>'
+      | '<='
+      | '>='
+      | '!='
+      ;
+|}
+
+(* A subset of Xi (the Cornell CS 4120 language): procedures, statements
+   with optional blocks, and an undisambiguated expression layer. Several
+   ambiguous conflicts. *)
+let xi =
+  {|
+%left EQ
+%left '+' '-'
+%left '*'
+%left '[' ']'
+%start program
+program : uses func_defs ;
+uses : uses USE ID
+     |
+     ;
+func_defs : func_defs func_def
+          | func_def
+          ;
+func_def : ID '(' params ')' ret_types block ;
+params : param_list
+       |
+       ;
+param_list : param_list ',' param
+           | param
+           ;
+param : ID ':' type ;
+ret_types : ':' type_list
+          |
+          ;
+type_list : type_list ',' type
+          | type
+          ;
+type : INT
+     | BOOL
+     | type '[' ']'
+     ;
+block : '{' stmts '}' ;
+stmts : stmts stmt
+      |
+      ;
+stmt : decl
+     | ID '=' expr
+     | IF expr stmt
+     | IF expr stmt ELSE stmt
+     | WHILE expr stmt
+     | RETURN exprs ';'
+     | block
+     ;
+decl : ID ':' type ;
+exprs : expr_list
+      |
+      ;
+expr_list : expr_list ',' expr
+          | expr
+          ;
+expr : expr '+' expr
+     | expr '-' expr
+     | expr '*' expr
+     | expr EQ expr
+     | '!' expr
+     | ID
+     | NUM
+     | TRUE
+     | FALSE
+     | ID '(' exprs ')'
+     | expr '[' expr ']'
+     | '(' expr ')'
+     ;
+|}
+
+(* eqn: the troff mathematical typesetting language, whose box-concatenation
+   syntax interacts with infix operators. *)
+let eqn =
+  {|
+%left CONCAT
+%left FROM TO
+%left OVER
+%left SUB SUP
+%left SQRT ROMAN ITALIC BOLD FAT SIZE
+%start equation
+equation : box_list ;
+box_list : box_list box %prec CONCAT
+         | box
+         ;
+box : box SUB box
+    | box SUP box
+    | box OVER box
+    | box FROM box
+    | box TO box
+    | SQRT box
+    | LEFT delim box_list RIGHT delim
+    | '{' box_list '}'
+    | font box
+    | size box %prec SQRT
+    | diacritic
+    | primary
+    ;
+font : ROMAN
+     | ITALIC
+     | BOLD
+     | FAT
+     ;
+size : SIZE NUM ;
+diacritic : primary DOT
+          | primary DOTDOT
+          | primary HAT
+          | primary TILDE
+          | primary BAR
+          | primary UNDER
+          | primary VEC
+          ;
+primary : TEXT
+        | NUM
+        | IDENT
+        | GREEK
+        | special
+        ;
+special : SUM
+        | INT_
+        | PROD
+        | UNION
+        | INTER
+        | LIM
+        | INF
+        | PARTIAL
+        | PRIME
+        ;
+delim : '('
+      | ')'
+      | '['
+      | ']'
+      | '|'
+      | CEILING
+      | FLOOR
+      | NOTHING
+      ;
+|}
+
+(* An ambiguous grammar on which the unifying search fails: the unifying
+   counterexample needs reverse transitions through states off the shortest
+   lookahead-sensitive path, which the practical restriction of section 6
+   forbids. The extended search (the paper's -extendedsearch) does find it.
+   Found by random search against exactly this specification; compare the
+   paper's ambfailed01, which illustrates the same tradeoff. *)
+let ambfailed01 =
+  {|
+%start s
+s : u ;
+p : q ;
+q : b_ ;
+b_ : B ;
+r : p C
+  | D
+  ;
+u : D
+  | r s u
+  ;
+|}

@@ -1,0 +1,73 @@
+(** The grammars that appear as figures in the paper itself. *)
+
+(* Figure 1: the ambiguous statement grammar used as the running example
+   (dangling else, expr '+' expr, and the "challenging" num/digit conflict). *)
+let figure1 =
+  {|
+%start stmt
+stmt : IF expr THEN stmt ELSE stmt
+     | IF expr THEN stmt
+     | expr ? stmt stmt
+     | ARR [ expr ] ':=' expr
+     ;
+expr : num
+     | expr + expr
+     ;
+num  : DIGIT
+     | num DIGIT
+     ;
+|}
+
+(* Figure 3: unambiguous but LR(2), so not LALR(1); its single shift/reduce
+   conflict admits only a nonunifying counterexample. *)
+let figure3 =
+  {|
+%start s
+s : t
+  | s t
+  ;
+t : x
+  | y
+  ;
+x : a ;
+y : a a b ;
+|}
+
+(* Figure 7: ambiguous grammar where the shortest lookahead-sensitive path is
+   incompatible with one of the two shift items (extra 'n' needed). *)
+let figure7 =
+  {|
+%start s
+s : n_
+  | n_ c
+  ;
+n_ : n n_ d
+   | n n_ c
+   | n a_ b
+   | n b_
+   ;
+a_ : a ;
+b_ : a b c
+   | a b d
+   ;
+|}
+
+(* Section 2.4: the expression grammar fragment whose '+' conflict is resolved
+   by declaring '+' left-associative; kept both with and without the
+   declaration. *)
+let expr_plus =
+  {|
+%start expr
+expr : expr + expr
+     | NUM
+     ;
+|}
+
+let expr_plus_resolved =
+  {|
+%left +
+%start expr
+expr : expr + expr
+     | NUM
+     ;
+|}

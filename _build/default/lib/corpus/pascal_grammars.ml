@@ -1,0 +1,240 @@
+(** Pascal grammars in the BV10 style: a conflict-free ISO-flavoured base
+    plus five variants with injected conflicts. *)
+
+let base =
+  {|
+%nonassoc THEN
+%nonassoc ELSE
+%start program_
+
+program_ : PROGRAM ID program_params ';' block '.' ;
+program_params : '(' id_list ')'
+               |
+               ;
+id_list : id_list ',' ID
+        | ID
+        ;
+
+block : label_part const_part type_part var_part proc_part compound_stmt ;
+
+label_part : LABEL label_list ';'
+           |
+           ;
+label_list : label_list ',' NUM
+           | NUM
+           ;
+
+const_part : CONST const_defs
+           |
+           ;
+const_defs : const_defs const_def
+           | const_def
+           ;
+const_def : ID '=' constant ';' ;
+constant : NUM
+         | sign NUM
+         | ID
+         | sign ID
+         | STRING
+         ;
+sign : '+'
+     | '-'
+     ;
+
+type_part : TYPE type_defs
+          |
+          ;
+type_defs : type_defs type_def
+          | type_def
+          ;
+type_def : ID '=' type_denoter ';' ;
+type_denoter : ID
+             | new_type
+             ;
+new_type : '(' id_list ')'
+         | constant DOTDOT constant
+         | ARRAY '[' index_types ']' OF type_denoter
+         | RECORD field_list END
+         | SET OF type_denoter
+         | FILE_ OF type_denoter
+         | '^' ID
+         | PACKED new_type
+         ;
+index_types : index_types ',' type_denoter
+            | type_denoter
+            ;
+field_list : fixed_fields variant_part
+           ;
+fixed_fields : fixed_fields ';' field_decl
+             | field_decl
+             |
+             ;
+field_decl : id_list ':' type_denoter ;
+variant_part : CASE ID ':' ID OF variants
+             |
+             ;
+variants : variants ';' variant
+         | variant
+         ;
+variant : case_labels ':' '(' field_list ')' ;
+case_labels : case_labels ',' constant
+            | constant
+            ;
+
+var_part : VAR var_decls
+         |
+         ;
+var_decls : var_decls var_decl
+          | var_decl
+          ;
+var_decl : id_list ':' type_denoter ';' ;
+
+proc_part : proc_part proc_decl
+          |
+          ;
+proc_decl : proc_heading ';' block ';'
+          | func_heading ';' block ';'
+          | proc_heading ';' FORWARD ';'
+          | func_heading ';' FORWARD ';'
+          ;
+proc_heading : PROCEDURE ID formal_params ;
+func_heading : FUNCTION ID formal_params ':' ID ;
+formal_params : '(' param_sections ')'
+              |
+              ;
+param_sections : param_sections ';' param_section
+               | param_section
+               ;
+param_section : id_list ':' ID
+              | VAR id_list ':' ID
+              | proc_heading
+              | func_heading
+              ;
+
+compound_stmt : BEGIN_ stmt_list END ;
+stmt_list : stmt_list ';' statement
+          | statement
+          ;
+statement : open_stmt
+          | NUM ':' open_stmt
+          ;
+open_stmt : assignment
+          | procedure_call
+          | compound_stmt
+          | IF expr THEN statement %prec THEN
+          | IF expr THEN statement ELSE statement
+          | CASE expr OF case_elements END
+          | WHILE expr DO statement
+          | REPEAT stmt_list UNTIL expr
+          | FOR ID ':=' expr direction expr DO statement
+          | WITH variable_list DO statement
+          | GOTO NUM
+          |
+          ;
+direction : TO
+          | DOWNTO
+          ;
+case_elements : case_elements ';' case_element
+              | case_element
+              ;
+case_element : case_labels ':' statement ;
+assignment : variable ':=' expr ;
+procedure_call : ID
+               | ID '(' actual_params ')'
+               ;
+actual_params : actual_params ',' expr
+              | expr
+              ;
+variable_list : variable_list ',' variable
+              | variable
+              ;
+variable : ID
+         | variable '[' expr_list ']'
+         | variable '.' ID
+         | variable '^'
+         ;
+expr_list : expr_list ',' expr
+          | expr
+          ;
+
+expr : simple_expr
+     | simple_expr relop simple_expr
+     ;
+relop : '='
+      | '<>'
+      | '<'
+      | '>'
+      | '<='
+      | '>='
+      | IN_
+      ;
+simple_expr : term
+            | sign term
+            | simple_expr addop term
+            ;
+addop : '+'
+      | '-'
+      | OR
+      ;
+term : factor
+     | term mulop factor
+     ;
+mulop : '*'
+      | '/'
+      | DIV
+      | MOD
+      | AND
+      ;
+factor : NUM
+       | STRING
+       | NIL
+       | variable
+       | ID '(' actual_params ')'
+       | '(' expr ')'
+       | NOT factor
+       | '[' set_members ']'
+       ;
+set_members : member_list
+            |
+            ;
+member_list : member_list ',' member
+            | member
+            ;
+member : expr
+       | expr DOTDOT expr
+       ;
+|}
+
+(* Pascal.1: an undisambiguated expression alternative threaded directly
+   into the expression layer — expr-level recursion without the
+   simple/term/factor stratification. *)
+let pascal1 = base ^ {|
+expr : expr AND expr ;
+|}
+
+(* Pascal.2: a WHEN/OTHERWISE conditional added without precedence — the
+   dangling else reborn — plus a nullable statement label. *)
+let pascal2 = base ^ {|
+open_stmt : WHEN expr DO_ statement
+          | WHEN expr DO_ statement OTHERWISE statement
+          ;
+|}
+
+(* Pascal.3: a duplicated production under a fresh nonterminal — the classic
+   reduce/reduce injection, in the variable layer. *)
+let pascal3 = base ^ {|
+factor : indexed ;
+indexed : ID ;
+|}
+
+(* Pascal.4: bare constants admitted as types, overlapping with named
+   types — a reduce/reduce injection at the type level. *)
+let pascal4 = base ^ {|
+new_type : constant ;
+|}
+
+(* Pascal.5: statement lists allowed to end in a semicolon — ambiguous
+   against the base's empty statement. *)
+let pascal5 = base ^ {|
+stmt_list : stmt_list ';' ;
+|}

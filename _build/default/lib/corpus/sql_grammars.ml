@@ -1,0 +1,218 @@
+(** SQL grammars in the style of the BV10 corpus (Basten & Vinju 2010): a
+    correct base grammar plus variants with one injected conflict each.
+    SQL.1 is a deliberately small subset (Table 1 lists it at 8 nonterminals);
+    SQL.2–SQL.5 inject different conflict species into the full base. *)
+
+(* A small SELECT-only subset, with an injected ambiguity in the boolean
+   layer (AND/OR left undisambiguated). *)
+let sql1 =
+  {|
+%start query
+query : SELECT select_list FROM table_list where_clause ;
+select_list : '*'
+            | column_list
+            ;
+column_list : column_list ',' column
+            | column
+            ;
+column : ID
+       | ID '.' ID
+       ;
+table_list : table_list ',' table
+           | table
+           ;
+table : ID ;
+where_clause : WHERE condition
+             |
+             ;
+condition : condition AND condition
+          | column '=' value
+          ;
+value : NUM
+      | STRING
+      ;
+|}
+
+(* The full base grammar: statements, joins, expressions with precedence,
+   DDL and DML. Conflict-free as written. *)
+let base =
+  {|
+%left OR
+%left AND
+%right NOT
+%nonassoc '=' '<>' '<' '>' '<=' '>='
+%nonassoc LIKE BETWEEN IN_ IS
+%left '+' '-'
+%left '*' '/'
+%start sql_list
+
+sql_list : sql_list sql ';'
+         | sql ';'
+         ;
+sql : select_stmt
+    | insert_stmt
+    | update_stmt
+    | delete_stmt
+    | create_stmt
+    | drop_stmt
+    ;
+
+select_stmt : SELECT distinct_opt select_list FROM table_refs where_opt
+              group_opt having_opt order_opt ;
+distinct_opt : DISTINCT
+             | ALL
+             |
+             ;
+select_list : '*'
+            | sel_items
+            ;
+sel_items : sel_items ',' sel_item
+          | sel_item
+          ;
+sel_item : expr
+         | expr AS ID
+         ;
+table_refs : table_refs ',' table_ref
+           | table_ref
+           ;
+table_ref : ID
+          | ID ID
+          | table_ref JOIN ID ON search_cond
+          | table_ref LEFT_ JOIN ID ON search_cond
+          | '(' select_stmt ')' ID
+          ;
+where_opt : WHERE search_cond
+          |
+          ;
+group_opt : GROUP BY column_list
+          |
+          ;
+having_opt : HAVING search_cond
+           |
+           ;
+order_opt : ORDER BY order_items
+          |
+          ;
+order_items : order_items ',' order_item
+            | order_item
+            ;
+order_item : column
+           | column ASC
+           | column DESC
+           ;
+column_list : column_list ',' column
+            | column
+            ;
+column : ID
+       | ID '.' ID
+       ;
+
+insert_stmt : INSERT INTO ID opt_columns VALUES '(' expr_list ')'
+            | INSERT INTO ID opt_columns select_stmt
+            ;
+opt_columns : '(' column_list ')'
+            |
+            ;
+update_stmt : UPDATE ID SET assignments where_opt ;
+assignments : assignments ',' assignment
+            | assignment
+            ;
+assignment : column '=' expr ;
+delete_stmt : DELETE FROM ID where_opt ;
+
+create_stmt : CREATE TABLE ID '(' col_defs ')' ;
+col_defs : col_defs ',' col_def
+         | col_def
+         ;
+col_def : ID type_name col_constraints ;
+type_name : INT_T
+          | CHAR_T '(' NUM ')'
+          | VARCHAR_T '(' NUM ')'
+          | FLOAT_T
+          | DATE_T
+          ;
+col_constraints : col_constraints col_constraint
+                |
+                ;
+col_constraint : NOT NULL_
+               | PRIMARY KEY
+               | UNIQUE
+               | DEFAULT literal
+               ;
+drop_stmt : DROP TABLE ID ;
+
+search_cond : search_cond OR search_cond
+            | search_cond AND search_cond
+            | NOT search_cond
+            | predicate
+            ;
+predicate : expr '=' expr
+          | expr '<>' expr
+          | expr '<' expr
+          | expr '>' expr
+          | expr '<=' expr
+          | expr '>=' expr
+          | expr LIKE STRING
+          | expr BETWEEN expr AND expr %prec BETWEEN
+          | expr IN_ '(' expr_list ')'
+          | expr IS NULL_
+          | expr IS NOT NULL_ %prec IS
+          | '(' search_cond ')'
+          | EXISTS '(' select_stmt ')'
+          ;
+expr_list : expr_list ',' expr
+          | expr
+          ;
+expr : expr '+' expr
+     | expr '-' expr
+     | expr '*' expr
+     | expr '/' expr
+     | '(' expr ')'
+     | column
+     | literal
+     | func_call
+     ;
+func_call : COUNT '(' '*' ')'
+          | COUNT '(' expr ')'
+          | SUM '(' expr ')'
+          | AVG '(' expr ')'
+          | MIN_ '(' expr ')'
+          | MAX_ '(' expr ')'
+          ;
+literal : NUM
+        | STRING
+        | NULL_
+        ;
+|}
+
+(* SQL.2: a nullable production injected after a keyword — "ALL" now parses
+   both with and without the empty suffix (the BV10 nullable injection). *)
+let sql2 = base ^ {|
+distinct_opt : ALL row_opt ;
+row_opt : ;
+|}
+
+(* SQL.3: duplicated production under a second nonterminal — a classic BV10
+   reduce/reduce injection in the literal layer. *)
+let sql3 = base ^ {|
+expr : constant_value ;
+constant_value : NUM ;
+|}
+
+(* SQL.4: a CASE expression without a terminating END keyword — a dangling
+   ELSE in SQL clothing. *)
+let sql4 = base ^ {|
+%nonassoc CASE_BODY
+expr : CASE search_cond THEN expr %prec CASE_BODY
+     | CASE search_cond THEN expr ELSE expr %prec CASE_BODY
+     ;
+|}
+
+(* SQL.5: a misfactored optional clause — WHERE may also be spelled via a
+   filter chain, overlapping with the base where_opt. *)
+let sql5 = base ^ {|
+where_opt : filter_chain ;
+filter_chain : WHERE search_cond
+             | filter_chain AND search_cond
+             ;
+|}

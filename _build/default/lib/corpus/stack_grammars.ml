@@ -1,0 +1,192 @@
+(** Reconstructions of the StackOverflow / StackExchange grammars from the
+    paper's Table 1. The paper links twelve questions by developers who could
+    not understand their parsers' conflicts; the exact grammars are not
+    distributed with the paper, so each entry below reconstructs the conflict
+    pattern the corresponding question exhibits (sizes are close to, but not
+    exactly, Table 1's — see EXPERIMENTS.md). *)
+
+(* math.stackexchange: "Determining ambiguity in context-free grammars" —
+   the classic doubly-recursive expression grammar. *)
+let stackexc01 =
+  {|
+%start e
+e : e + e
+  | e * e
+  | ( e )
+  | ID
+  ;
+|}
+
+(* cstheory.stackexchange: "Resolving ambiguity in an LALR grammar with
+   empty productions" — an optional prefix that needs two tokens of
+   lookahead; the grammar is unambiguous but not LALR(1). *)
+let stackexc02 =
+  {|
+%start s
+s : header X Y
+  | X Z
+  | s ',' s_item
+  ;
+s_item : X ;
+header : opt_mod ;
+opt_mod : X
+        |
+        ;
+|}
+
+(* "Bison shift-reduce conflict for simple grammar" — right recursion that
+   consumes pairs, needing LR(2); unambiguous. *)
+let stackovf01 =
+  {|
+%start args
+args : arg
+     | args arg
+     ;
+arg : ID
+    | ID ID ':'
+    ;
+|}
+
+(* "Issue resolving a shift-reduce conflict in my grammar" — two
+   undisambiguated binary operators; every conflict is a real ambiguity. *)
+let stackovf02 =
+  {|
+%start e
+e : e AND e
+  | e OR e
+  | ID
+  ;
+|}
+
+(* "Bison complained conflicts: 1 shift/reduce" — the minimal ambiguous
+   binary operator. *)
+let stackovf03 =
+  {|
+%start e
+e : e + e
+  | NUM
+  ;
+|}
+
+(* "How to resolve a shift-reduce conflict in unambiguous grammar" — a
+   reduce/reduce conflict from two nonterminals that share a prefix and are
+   distinguished only two tokens later; unambiguous, LR(2). *)
+let stackovf04 =
+  {|
+%start s
+s : stmt
+  | s ';' stmt
+  ;
+stmt : lab C D
+     | exp C E
+     ;
+lab : X ;
+exp : X ;
+|}
+
+(* "Bison/yacc reduce-reduce conflict for a specific grammar" — a
+   dangling-else in disguise: WHEN/DO with optional OTHERWISE. Ambiguous. *)
+let stackovf05 =
+  {|
+%start s
+s : WHEN cond DO s OTHERWISE s
+  | WHEN cond DO s
+  | act
+  ;
+cond : C
+     | cond AND C
+     ;
+act : A ;
+|}
+
+(* "How to resolve this shift-reduce conflict in yacc" — two separate
+   LR(2) spots, both unambiguous. *)
+let stackovf06 =
+  {|
+%start s
+s : t
+  | s t
+  ;
+t : x
+  | y
+  | z
+  | w
+  ;
+x : A ;
+y : A A B ;
+z : C ;
+w : C C D ;
+|}
+
+(* "Why are there 3 parsing conflicts in my tiny grammar" — a dangling else
+   combined with an undisambiguated operator. Ambiguous. *)
+let stackovf07 =
+  {|
+%start s
+s : IF e THEN s ELSE s
+  | IF e THEN s
+  | e
+  ;
+e : e + e
+  | ID
+  | ID e
+  ;
+|}
+
+(* "Shift-reduce conflicts in a simple grammar" — many nonterminals that
+   share the same one-token prefix, yielding a pile of reduce/reduce
+   conflicts; unambiguous (LR(2)). *)
+let stackovf08 =
+  {|
+%start s
+s : item
+  | s ';' item
+  ;
+item : k1 C T1
+     | k2 C T2
+     | k3 C T3
+     | k4 C T4
+     ;
+k1 : X ;
+k2 : X ;
+k3 : X ;
+k4 : X ;
+|}
+
+(* "Shift-reduce conflict" — an unambiguous instruction-stream grammar
+   where a one-token unit shares its prefix with a three-token unit,
+   needing LR(2). *)
+let stackovf09 =
+  {|
+%start stream
+stream : unit_
+       | stream unit_
+       ;
+unit_ : opcode
+      | macro
+      ;
+opcode : OP ;
+macro : OP OP END ;
+|}
+
+(* "Why are these conflicts appearing in the following yacc grammar for
+   XML" — undisambiguated expression forms over several operators plus a
+   unary form; massively ambiguous. *)
+let stackovf10 =
+  {|
+%start e
+e : e + e
+  | e - e
+  | e * e
+  | e / e
+  | - e
+  | pre
+  ;
+pre : atom
+    | pre ^ atom
+    ;
+atom : ID
+     | NUM
+     | ( e )
+     ;
+|}

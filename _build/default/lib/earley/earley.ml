@@ -1,0 +1,202 @@
+open Cfg
+
+type t = {
+  grammar : Grammar.t;
+}
+
+let make grammar = { grammar }
+
+(* Keys of the counting chart. [Nt (n, i, j)] counts derivation trees of
+   input[i..j) rooted at a production of nonterminal [n], plus the bare-leaf
+   match. [Seq (p, k, i, j)] counts ways the suffix of production [p]
+   starting at right-hand-side position [k] derives input[i..j). *)
+type key =
+  | Nt of int * int * int
+  | Seq of int * int * int * int
+
+(* Saturating arithmetic: counts live in [0..cap], where [cap] stands for
+   "cap or more". The counting equations are monotone, so Kleene iteration
+   from the all-zero chart converges to min(true count, cap) even for cyclic
+   grammars with infinitely many trees. *)
+let sat_add cap a b = min cap (a + b)
+let sat_mul cap a b = min cap (a * b)
+
+type chart = {
+  parser : t;
+  input : Symbol.t array;
+  cap : int;
+  table : (key, int) Hashtbl.t;
+  mutable changed : bool;
+}
+
+let get c key = Option.value ~default:0 (Hashtbl.find_opt c.table key)
+
+(* Store monotonically, and record mere key discovery as a change so the
+   fixpoint loop revisits keys that currently evaluate to 0. *)
+let set c key v =
+  match Hashtbl.find_opt c.table key with
+  | None ->
+    Hashtbl.replace c.table key v;
+    c.changed <- true
+  | Some old when v > old ->
+    Hashtbl.replace c.table key v;
+    c.changed <- true
+  | Some _ -> ()
+
+let leaf_matches c sym i j = j = i + 1 && Symbol.equal c.input.(i) sym
+
+(* One evaluation pass of the counting equations over a key, reading the
+   current chart. *)
+let rec eval c key =
+  match key with
+  | Seq (p, k, i, j) -> eval_seq c p k i j
+  | Nt (n, i, j) ->
+    let rooted =
+      List.fold_left
+        (fun acc p -> sat_add c.cap acc (eval_seq c p 0 i j))
+        0
+        (Grammar.productions_of c.parser.grammar n)
+    in
+    let total =
+      if leaf_matches c (Symbol.Nonterminal n) i j then sat_add c.cap rooted 1
+      else rooted
+    in
+    set c key total;
+    total
+
+and eval_seq c p k i j =
+  let prod = Grammar.production c.parser.grammar p in
+  let rhs = prod.Grammar.rhs in
+  if k = Array.length rhs then if i = j then 1 else 0
+  else begin
+    let key = Seq (p, k, i, j) in
+    let total = ref 0 in
+    for m = i to j do
+      let first =
+        match rhs.(k) with
+        | Symbol.Terminal _ as sym -> if leaf_matches c sym i m then 1 else 0
+        | Symbol.Nonterminal n ->
+          (* Read the chart rather than recursing: recursion through
+             nonterminals could loop on cyclic grammars. The outer iteration
+             re-evaluates until the chart is stable. *)
+          let sub = Nt (n, i, m) in
+          (* Make sure the key is discovered so the fixpoint loop visits it. *)
+          if not (Hashtbl.mem c.table sub) then begin
+            Hashtbl.replace c.table sub 0;
+            c.changed <- true
+          end;
+          get c sub
+      in
+      if first > 0 then
+        total :=
+          sat_add c.cap !total (sat_mul c.cap first (eval_seq c p (k + 1) m j))
+    done;
+    set c key !total;
+    !total
+  end
+
+(* Build the full chart for [input], including the root key, and iterate to
+   the least fixpoint. *)
+let build_chart parser ~cap ~start input =
+  let n = Array.length input in
+  let c = { parser; input; cap; table = Hashtbl.create 256; changed = true } in
+  (match start with
+  | Symbol.Terminal _ -> ()
+  | Symbol.Nonterminal nt -> ignore (eval c (Nt (nt, 0, n))));
+  while c.changed do
+    c.changed <- false;
+    let keys = Hashtbl.fold (fun k _ acc -> k :: acc) c.table [] in
+    List.iter (fun k -> ignore (eval c k)) keys
+  done;
+  c
+
+let count_generic ~rooted_only parser ?(cap = 4) ~start input =
+  let input = Array.of_list input in
+  let n = Array.length input in
+  (* One extra unit of headroom so that subtracting the trivial leaf
+     derivation (rooted_only at a one-symbol input) is not masked by
+     saturation. *)
+  let c = build_chart parser ~cap:(cap + 1) ~start input in
+  let result =
+    match start with
+    | Symbol.Terminal _ as sym ->
+      if (not rooted_only) && leaf_matches c sym 0 n then 1 else 0
+    | Symbol.Nonterminal nt ->
+      let full = get c (Nt (nt, 0, n)) in
+      if rooted_only && leaf_matches c (Symbol.Nonterminal nt) 0 n then full - 1
+      else full
+  in
+  min cap result
+
+let count_trees parser ?cap ~start input =
+  count_generic ~rooted_only:false parser ?cap ~start input
+
+let count_rooted parser ?cap ~start input =
+  count_generic ~rooted_only:true parser ?cap ~start input
+
+let ambiguous_from parser ~start input =
+  count_rooted parser ~cap:2 ~start input >= 2
+
+let derives parser ~start input =
+  count_rooted parser ~cap:1 ~start input >= 1
+  || (match input with
+     | [ sym ] -> Symbol.equal sym start
+     | [] | _ :: _ :: _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Bounded enumeration of derivation trees, used by tests and for an
+   Elkhound-style display of multiple parses. The chart built above prunes
+   the search to derivable configurations only. *)
+
+let derivations parser ?(limit = 2) ?(max_nodes = 200) ~start input =
+  let g = parser.grammar in
+  let input = Array.of_list input in
+  let chart = build_chart parser ~cap:1 ~start input in
+  let derivable sym i j =
+    leaf_matches chart sym i j
+    ||
+    match sym with
+    | Symbol.Terminal _ -> false
+    | Symbol.Nonterminal n -> get chart (Nt (n, i, j)) > 0
+  in
+  let results = ref [] in
+  let n_results = ref 0 in
+  let exception Done in
+  (* [trees sym i j budget yield] enumerates (derivation, nodes used) for
+     derivations of input[i..j) from [sym] using at most [budget] nodes. *)
+  let rec trees sym i j budget yield =
+    if budget > 0 && derivable sym i j then begin
+      if leaf_matches chart sym i j then yield (Derivation.leaf sym, 1);
+      match sym with
+      | Symbol.Terminal _ -> ()
+      | Symbol.Nonterminal nt ->
+        List.iter
+          (fun p ->
+            let prod = Grammar.production g p in
+            seq prod.Grammar.rhs 0 i j (budget - 1) (fun (children, used) ->
+                yield (Derivation.node g p (List.rev children), used + 1)))
+          (Grammar.productions_of g nt)
+    end
+  and seq rhs k i j budget yield =
+    if k = Array.length rhs then begin
+      if i = j then yield ([], 0)
+    end
+    else
+      for m = i to j do
+        if derivable rhs.(k) i m then
+          trees rhs.(k) i m budget (fun (first, used) ->
+              seq rhs (k + 1) m j (budget - used) (fun (rest, used') ->
+                  yield (first :: rest, used + used')))
+      done
+  in
+  (try
+     trees start 0 (Array.length input) max_nodes (fun (d, _) ->
+         (* Only rooted derivations (skip the trivial leaf at the root). *)
+         match d with
+         | Derivation.Leaf _ -> ()
+         | Derivation.Node _ ->
+           results := d :: !results;
+           incr n_results;
+           if !n_results >= limit then raise Done)
+   with Done -> ());
+  List.rev !results

@@ -1,0 +1,38 @@
+(** An independent chart parser over {e sentential forms}, used to validate
+    counterexamples: it counts (with saturation) how many distinct derivation
+    trees a grammar admits for a given string of symbols.
+
+    Input symbols may be nonterminals; a nonterminal in the input matches
+    itself as an unexpanded leaf, exactly the convention of the paper's
+    counterexamples ("no more concrete than necessary"). Counting is the
+    Kleene fixpoint of the tree-counting equations with saturating
+    arithmetic, so cyclic grammars (infinitely many trees) simply saturate at
+    the cap instead of diverging. *)
+
+open Cfg
+
+type t
+
+val make : Grammar.t -> t
+
+val count_trees : t -> ?cap:int -> start:Symbol.t -> Symbol.t list -> int
+(** Number of derivation trees of the input from [start], including the
+    trivial leaf tree when the input is [[start]] itself. Saturates at [cap]
+    (default 4). *)
+
+val count_rooted : t -> ?cap:int -> start:Symbol.t -> Symbol.t list -> int
+(** Like {!count_trees} but counts only trees that apply at least one
+    production at the root. *)
+
+val ambiguous_from : t -> start:Symbol.t -> Symbol.t list -> bool
+(** Does the sentential form have two or more distinct rooted derivations
+    from [start]? This is the defining property of a unifying
+    counterexample. *)
+
+val derives : t -> start:Symbol.t -> Symbol.t list -> bool
+
+val derivations :
+  t -> ?limit:int -> ?max_nodes:int -> start:Symbol.t -> Symbol.t list ->
+  Derivation.t list
+(** Enumerate up to [limit] distinct rooted derivation trees with at most
+    [max_nodes] nodes each (default 2 trees of 200 nodes). *)

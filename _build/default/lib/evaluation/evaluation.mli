@@ -1,0 +1,54 @@
+(** Regeneration of the paper's evaluation (Table 1 and the section 7.2–7.4
+    claims) over the {!Corpus}. Shared by [bench/main.exe] and
+    [bin/table1.exe]. *)
+
+type row = {
+  entry : Corpus.entry;
+  nonterms : int;
+  prods : int;
+  states : int;
+  conflicts : int;
+  unifying : int;
+  nonunifying : int;  (** proven: no unifying counterexample exists *)
+  timeouts : int;  (** timed out or skipped; nonunifying reported instead *)
+  ambiguous_detected : bool;
+  total_time : float;
+  average_time : float option;  (** per counterexample found in time *)
+  baseline_time : float option;
+  misleading_naive : int;
+}
+
+val run_row :
+  ?options:Cex.Driver.options ->
+  ?with_baseline:bool ->
+  ?baseline_budget:float ->
+  Corpus.entry ->
+  row
+
+val pp_header : Format.formatter -> unit -> unit
+val pp_row : Format.formatter -> row -> unit
+val pp_table : Format.formatter -> row list -> unit
+
+type effectiveness = {
+  total_conflicts : int;
+  with_counterexample : int;
+  within_time_limit : int;
+  grammars_with_misleading_naive : string list;
+}
+
+val effectiveness : row list -> effectiveness
+val pp_effectiveness : Format.formatter -> effectiveness -> unit
+
+type efficiency = {
+  overall_average : float;
+  stack_average : float;
+  geometric_speedup : float option;
+}
+
+val efficiency : row list -> efficiency
+val pp_efficiency : Format.formatter -> efficiency -> unit
+
+val scalability : row list -> (string * int * float) list
+(** (grammar, #states, avg s/conflict), sorted by #states. *)
+
+val pp_scalability : Format.formatter -> (string * int * float) list -> unit

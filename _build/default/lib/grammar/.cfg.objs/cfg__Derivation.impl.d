@@ -1,0 +1,1 @@
+lib/grammar/derivation.ml: Array Fmt Grammar List Symbol

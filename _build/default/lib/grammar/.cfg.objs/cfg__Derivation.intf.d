@@ -1,0 +1,1 @@
+lib/grammar/derivation.mli: Format Grammar Symbol

@@ -1,0 +1,1 @@
+lib/grammar/export.ml: Array Buffer Char Fmt Grammar Hashtbl Int List Spec_lexer String Symbol

@@ -1,0 +1,1 @@
+lib/grammar/export.mli: Grammar

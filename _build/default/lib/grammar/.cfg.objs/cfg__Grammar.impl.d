@@ -1,0 +1,1 @@
+lib/grammar/grammar.ml: Array Fmt Hashtbl List Spec_ast String Symbol

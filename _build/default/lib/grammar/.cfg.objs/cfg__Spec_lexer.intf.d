@@ -1,0 +1,1 @@
+lib/grammar/spec_lexer.mli:

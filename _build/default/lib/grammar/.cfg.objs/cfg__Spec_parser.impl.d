@@ -1,0 +1,1 @@
+lib/grammar/spec_parser.ml: Fmt Grammar List Spec_ast Spec_lexer

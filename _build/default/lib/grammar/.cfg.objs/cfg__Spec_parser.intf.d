@@ -1,0 +1,1 @@
+lib/grammar/spec_parser.mli: Grammar Spec_ast

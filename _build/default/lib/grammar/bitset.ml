@@ -1,0 +1,142 @@
+type t = { bits : int array }
+
+let bits_per_word = Sys.int_size
+
+let word_count capacity = (capacity + bits_per_word - 1) / bits_per_word
+
+let create ~capacity = { bits = Array.make (max 1 (word_count capacity)) 0 }
+
+let empty = { bits = [||] }
+
+let length_words s = Array.length s.bits
+
+let mem s i =
+  let w = i / bits_per_word in
+  w < length_words s && s.bits.(w) land (1 lsl (i mod bits_per_word)) <> 0
+
+let ensure s words =
+  if length_words s >= words then Array.copy s.bits
+  else begin
+    let bits = Array.make words 0 in
+    Array.blit s.bits 0 bits 0 (length_words s);
+    bits
+  end
+
+let add s i =
+  if mem s i then s
+  else begin
+    let w = i / bits_per_word in
+    let bits = ensure s (w + 1) in
+    bits.(w) <- bits.(w) lor (1 lsl (i mod bits_per_word));
+    { bits }
+  end
+
+let singleton i = add empty i
+
+let of_list is = List.fold_left add empty is
+
+let remove s i =
+  if not (mem s i) then s
+  else begin
+    let bits = Array.copy s.bits in
+    let w = i / bits_per_word in
+    bits.(w) <- bits.(w) land lnot (1 lsl (i mod bits_per_word));
+    { bits }
+  end
+
+let union a b =
+  let big, small = if length_words a >= length_words b then a, b else b, a in
+  (* Avoid allocation when [small] adds nothing; common in fixpoints. *)
+  let adds_nothing =
+    let rec check w =
+      w >= length_words small
+      || (small.bits.(w) lor big.bits.(w) = big.bits.(w) && check (w + 1))
+    in
+    check 0
+  in
+  if adds_nothing then big
+  else begin
+    let bits = Array.copy big.bits in
+    for w = 0 to length_words small - 1 do
+      bits.(w) <- bits.(w) lor small.bits.(w)
+    done;
+    { bits }
+  end
+
+let inter a b =
+  let words = min (length_words a) (length_words b) in
+  let bits = Array.make (max 1 words) 0 in
+  for w = 0 to words - 1 do
+    bits.(w) <- a.bits.(w) land b.bits.(w)
+  done;
+  { bits }
+
+let is_empty s =
+  let rec go w = w >= length_words s || (s.bits.(w) = 0 && go (w + 1)) in
+  go 0
+
+let disjoint a b = is_empty (inter a b)
+
+let subset a b =
+  let rec go w =
+    w >= length_words a
+    || (a.bits.(w) land lnot (if w < length_words b then b.bits.(w) else 0) = 0
+        && go (w + 1))
+  in
+  go 0
+
+let equal a b = subset a b && subset b a
+
+let compare a b =
+  (* Compare as (possibly zero-padded) word sequences, most significant last. *)
+  let words = max (length_words a) (length_words b) in
+  let word s w = if w < length_words s then s.bits.(w) else 0 in
+  let rec go w =
+    if w < 0 then 0
+    else
+      let c = Int.compare (word a w) (word b w) in
+      if c <> 0 then c else go (w - 1)
+  in
+  go (words - 1)
+
+let fold f s init =
+  let acc = ref init in
+  for w = 0 to length_words s - 1 do
+    let word = s.bits.(w) in
+    if word <> 0 then
+      for b = 0 to bits_per_word - 1 do
+        if word land (1 lsl b) <> 0 then acc := f (w * bits_per_word + b) !acc
+      done
+  done;
+  !acc
+
+let iter f s = fold (fun i () -> f i) s ()
+
+let elements s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let cardinal s = fold (fun _ n -> n + 1) s 0
+
+let exists p s = fold (fun i found -> found || p i) s false
+
+let choose s =
+  let rec go w =
+    if w >= length_words s then None
+    else if s.bits.(w) = 0 then go (w + 1)
+    else
+      let rec bit b =
+        if s.bits.(w) land (1 lsl b) <> 0 then Some ((w * bits_per_word) + b)
+        else bit (b + 1)
+      in
+      bit 0
+  in
+  go 0
+
+let hash s =
+  let h = ref 0 in
+  for w = 0 to length_words s - 1 do
+    if s.bits.(w) <> 0 then h := (!h * 31) + (s.bits.(w) lxor w)
+  done;
+  !h
+
+let pp ?(name = string_of_int) ppf s =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") string) (List.map name (elements s))

@@ -1,0 +1,43 @@
+(** Immutable sets of small nonnegative integers, used for terminal
+    (lookahead) sets throughout the library.
+
+    Values are persistent: all operations return fresh sets and never mutate
+    their arguments. Representation is canonical up to trailing zero words, and
+    all observers treat missing high words as zeros, so structural sharing is
+    safe. *)
+
+type t
+
+val empty : t
+
+val create : capacity:int -> t
+(** [create ~capacity] is an empty set preallocated for elements
+    [< capacity]. Purely an allocation hint. *)
+
+val singleton : int -> t
+val of_list : int list -> t
+val add : t -> int -> t
+val remove : t -> int -> t
+val mem : t -> int -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val is_empty : t -> bool
+val disjoint : t -> t -> bool
+val subset : t -> t -> bool
+(** [subset a b] is [true] iff every element of [a] is in [b]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (int -> unit) -> t -> unit
+val elements : t -> int list
+(** Elements in increasing order. *)
+
+val cardinal : t -> int
+val exists : (int -> bool) -> t -> bool
+val choose : t -> int option
+(** Smallest element, if any. *)
+
+val hash : t -> int
+val pp : ?name:(int -> string) -> Format.formatter -> t -> unit
+(** Print as [{a, b, c}], mapping elements through [name]. *)

@@ -1,0 +1,111 @@
+type t =
+  | Leaf of Symbol.t
+  | Node of {
+      prod : int;
+      lhs : int;
+      children : t list;
+      dot : int option;
+    }
+
+let leaf sym = Leaf sym
+
+let node ?dot g prod children =
+  let p = Grammar.production g prod in
+  Node { prod; lhs = p.Grammar.lhs; children; dot }
+
+let root_symbol = function
+  | Leaf sym -> sym
+  | Node { lhs; _ } -> Symbol.Nonterminal lhs
+
+let rec leaves_acc d acc =
+  match d with
+  | Leaf sym -> sym :: acc
+  | Node { children; _ } -> List.fold_right leaves_acc children acc
+
+let leaves d = leaves_acc d []
+
+let rec size = function
+  | Leaf _ -> 1
+  | Node { children; _ } -> List.fold_left (fun n c -> n + size c) 1 children
+
+let rec validate g d =
+  match d with
+  | Leaf _ -> true
+  | Node { prod; lhs; children; dot } ->
+    let p = Grammar.production g prod in
+    p.Grammar.lhs = lhs
+    && List.length children = Array.length p.Grammar.rhs
+    && (match dot with
+       | None -> true
+       | Some i -> i >= 0 && i <= List.length children)
+    && List.for_all2
+         (fun child sym -> Symbol.equal (root_symbol child) sym)
+         children (Array.to_list p.Grammar.rhs)
+    && List.for_all (validate g) children
+
+let dot_marker = "\xe2\x80\xa2" (* U+2022 bullet, as in the paper's output *)
+
+let rec pp g ppf d =
+  match d with
+  | Leaf sym -> Fmt.string ppf (Grammar.symbol_name g sym)
+  | Node { lhs; children; dot; _ } ->
+    let pieces =
+      let printers = List.map (fun child ppf () -> pp g ppf child) children in
+      match dot with
+      | None -> printers
+      | Some i ->
+        let before = List.filteri (fun j _ -> j < i) printers in
+        let after = List.filteri (fun j _ -> j >= i) printers in
+        before @ ((fun ppf () -> Fmt.string ppf dot_marker) :: after)
+    in
+    Fmt.pf ppf "%s ::= [%a]" (Grammar.nonterminal_name g lhs)
+      Fmt.(list ~sep:(any " ") (fun ppf pr -> pr ppf ()))
+      pieces
+
+let to_string g d = Fmt.str "%a" (pp g) d
+
+(* Position of the (first) dot marker within the frontier, if any node
+   carries one. *)
+let frontier_dot_position d =
+  let exception Found of int in
+  let rec go offset d =
+    match d with
+    | Leaf _ -> offset + 1
+    | Node { children; dot; _ } ->
+      let rec walk i offset = function
+        | [] ->
+          (match dot with
+          | Some j when j = i -> raise (Found offset)
+          | Some _ | None -> offset)
+        | child :: rest ->
+          (match dot with
+          | Some j when j = i -> raise (Found offset)
+          | Some _ | None -> ());
+          walk (i + 1) (go offset child) rest
+      in
+      walk 0 offset children
+  in
+  match go 0 d with
+  | (_ : int) -> None
+  | exception Found offset -> Some offset
+
+let pp_frontier_with_dot g ppf d =
+  let leaves = leaves d in
+  let dot_at = frontier_dot_position d in
+  let n = List.length leaves in
+  List.iteri
+    (fun i sym ->
+      if dot_at = Some i then Fmt.pf ppf "%s " dot_marker;
+      Fmt.string ppf (Grammar.symbol_name g sym);
+      if i < n - 1 then Fmt.string ppf " ")
+    leaves;
+  if dot_at = Some n then Fmt.pf ppf " %s" dot_marker
+
+let rec equal a b =
+  match a, b with
+  | Leaf x, Leaf y -> Symbol.equal x y
+  | Node n1, Node n2 ->
+    n1.prod = n2.prod
+    && List.length n1.children = List.length n2.children
+    && List.for_all2 equal n1.children n2.children
+  | Leaf _, Node _ | Node _, Leaf _ -> false

@@ -1,0 +1,52 @@
+(** Derivation (parse) trees over sentential forms.
+
+    A derivation need not be complete: a {!Leaf} stands for any grammar symbol
+    left unexpanded, so the frontier of a derivation is a sentential form, not
+    necessarily a sentence. This is exactly what the paper's counterexamples
+    are: derivations "no more concrete than necessary". *)
+
+type t =
+  | Leaf of Symbol.t  (** an unexpanded symbol *)
+  | Node of {
+      prod : int;  (** production applied at this node *)
+      lhs : int;  (** cached left-hand side of [prod] *)
+      children : t list;
+      dot : int option;
+          (** conflict-point marker: the paper's [•] is printed before the
+              child at this index when rendering *)
+    }
+
+val leaf : Symbol.t -> t
+
+val node : ?dot:int -> Grammar.t -> int -> t list -> t
+(** [node g prod children] applies production [prod] of [g]. *)
+
+val root_symbol : t -> Symbol.t
+
+val leaves : t -> Symbol.t list
+(** The frontier, left to right. An epsilon subtree contributes nothing. *)
+
+val size : t -> int
+
+val validate : Grammar.t -> t -> bool
+(** Check that every node applies a real production of [g] to children whose
+    root symbols spell its right-hand side. *)
+
+val equal : t -> t -> bool
+(** Structural equality of applied productions (ignores dot markers). *)
+
+val dot_marker : string
+
+val frontier_dot_position : t -> int option
+(** Leaf offset at which the first dot marker falls, if any node carries
+    one. *)
+
+val pp_frontier_with_dot : Grammar.t -> Format.formatter -> t -> unit
+(** Print the frontier with the dot marker inserted at its position, e.g.
+    [expr + expr • + expr]. *)
+
+val pp : Grammar.t -> Format.formatter -> t -> unit
+(** Bracketed rendering in the paper's style:
+    [expr ::= [expr ::= [expr + expr •] + expr]]. *)
+
+val to_string : Grammar.t -> t -> string

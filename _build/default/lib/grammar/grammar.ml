@@ -1,0 +1,204 @@
+type assoc = Spec_ast.assoc =
+  | Left
+  | Right
+  | Nonassoc
+
+type production = {
+  index : int;
+  lhs : int;
+  rhs : Symbol.t array;
+  prec_tag : int option;
+}
+
+type t = {
+  terminal_names : string array;
+  nonterminal_names : string array;
+  productions : production array;
+  productions_of : int list array;
+  start : int;
+  term_prec : (int * assoc) option array;
+}
+
+let eof_name = "$"
+let start_name = "START"
+
+let n_terminals g = Array.length g.terminal_names
+let n_nonterminals g = Array.length g.nonterminal_names
+let n_productions g = Array.length g.productions
+let production g i = g.productions.(i)
+let productions_of g nt = g.productions_of.(nt)
+let start g = g.start
+let terminal_name g t = g.terminal_names.(t)
+let nonterminal_name g nt = g.nonterminal_names.(nt)
+
+let symbol_name g = function
+  | Symbol.Terminal t -> terminal_name g t
+  | Symbol.Nonterminal nt -> nonterminal_name g nt
+
+let terminal_prec g t = g.term_prec.(t)
+
+let production_prec g p =
+  match p.prec_tag with
+  | Some t -> g.term_prec.(t)
+  | None ->
+    (* Default: precedence of the rightmost terminal in the right-hand side. *)
+    let rec rightmost i =
+      if i < 0 then None
+      else
+        match p.rhs.(i) with
+        | Symbol.Terminal t -> g.term_prec.(t)
+        | Symbol.Nonterminal _ -> rightmost (i - 1)
+    in
+    rightmost (Array.length p.rhs - 1)
+
+let find_terminal g name =
+  let rec go i =
+    if i >= n_terminals g then None
+    else if String.equal g.terminal_names.(i) name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let find_nonterminal g name =
+  let rec go i =
+    if i >= n_nonterminals g then None
+    else if String.equal g.nonterminal_names.(i) name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let find_symbol g name =
+  match find_nonterminal g name with
+  | Some nt -> Some (Symbol.Nonterminal nt)
+  | None -> (
+    match find_terminal g name with
+    | Some t -> Some (Symbol.Terminal t)
+    | None -> None)
+
+let pp_symbols g ppf symbols =
+  Fmt.(list ~sep:(any " ") string) ppf (List.map (symbol_name g) symbols)
+
+let pp_production g ppf p =
+  Fmt.pf ppf "%s ::=%a" (nonterminal_name g p.lhs)
+    (fun ppf rhs ->
+      Array.iter (fun s -> Fmt.pf ppf " %s" (symbol_name g s)) rhs)
+    p.rhs
+
+let pp ppf g =
+  Array.iter (fun p -> Fmt.pf ppf "%a@." (pp_production g) p) g.productions
+
+(* ------------------------------------------------------------------ *)
+(* Construction from a spec. *)
+
+exception Invalid of string
+
+let invalidf fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt
+
+let of_spec_exn (spec : Spec_ast.t) =
+  if spec.rules = [] then invalidf "grammar has no rules";
+  (* Merge rules that share a left-hand side, preserving declaration order. *)
+  let merged : (string, Spec_ast.alt list ref) Hashtbl.t = Hashtbl.create 16 in
+  let lhs_order = ref [] in
+  List.iter
+    (fun (r : Spec_ast.rule) ->
+      match Hashtbl.find_opt merged r.lhs with
+      | Some alts -> alts := !alts @ r.alts
+      | None ->
+        Hashtbl.add merged r.lhs (ref r.alts);
+        lhs_order := r.lhs :: !lhs_order)
+    spec.rules;
+  let lhs_order = List.rev !lhs_order in
+  (* Nonterminal 0 is the augmented start symbol. *)
+  let nonterminal_names =
+    Array.of_list (start_name :: lhs_order)
+  in
+  let nt_index = Hashtbl.create 16 in
+  Array.iteri (fun i n -> Hashtbl.replace nt_index n i) nonterminal_names;
+  if Hashtbl.length nt_index <> Array.length nonterminal_names then
+    invalidf "duplicate nonterminal (or a rule named %S)" start_name;
+  (* Terminals: terminal 0 is eof; then declared tokens, precedence tokens and
+     any rule symbol that is not a nonterminal, in order of appearance. *)
+  let term_index = Hashtbl.create 16 in
+  let term_order = ref [] in
+  let declare_terminal name =
+    if String.equal name eof_name then
+      invalidf "the symbol %S is reserved for end of input" eof_name;
+    if (not (Hashtbl.mem nt_index name)) && not (Hashtbl.mem term_index name)
+    then begin
+      Hashtbl.add term_index name (1 + List.length !term_order);
+      term_order := name :: !term_order
+    end
+  in
+  List.iter declare_terminal spec.tokens;
+  List.iter (fun (_, names) -> List.iter declare_terminal names) spec.prec_levels;
+  List.iter
+    (fun lhs ->
+      List.iter
+        (fun (alt : Spec_ast.alt) -> List.iter declare_terminal alt.symbols)
+        !(Hashtbl.find merged lhs))
+    lhs_order;
+  let terminal_names = Array.of_list (eof_name :: List.rev !term_order) in
+  let term_prec = Array.make (Array.length terminal_names) None in
+  List.iteri
+    (fun level (assoc, names) ->
+      List.iter
+        (fun name ->
+          let t = Hashtbl.find term_index name in
+          if term_prec.(t) <> None then
+            invalidf "terminal %s has two precedence declarations" name;
+          term_prec.(t) <- Some (level, assoc))
+        names)
+    spec.prec_levels;
+  let lookup_symbol name =
+    match Hashtbl.find_opt nt_index name with
+    | Some nt -> Symbol.Nonterminal nt
+    | None -> Symbol.Terminal (Hashtbl.find term_index name)
+  in
+  let start_nt =
+    match spec.start with
+    | None -> (
+      match lhs_order with
+      | first :: _ -> Hashtbl.find nt_index first
+      | [] -> assert false)
+    | Some name -> (
+      match Hashtbl.find_opt nt_index name with
+      | Some nt -> nt
+      | None -> invalidf "start symbol %s is not a nonterminal" name)
+  in
+  let productions = ref [] in
+  let count = ref 0 in
+  let add_production lhs rhs prec_tag =
+    incr count;
+    productions := { index = !count - 1; lhs; rhs; prec_tag } :: !productions
+  in
+  add_production 0 [| Symbol.Nonterminal start_nt |] None;
+  List.iter
+    (fun lhs_name ->
+      let lhs = Hashtbl.find nt_index lhs_name in
+      List.iter
+        (fun (alt : Spec_ast.alt) ->
+          let rhs = Array.of_list (List.map lookup_symbol alt.symbols) in
+          let prec_tag =
+            match alt.prec_tag with
+            | None -> None
+            | Some name -> (
+              match Hashtbl.find_opt term_index name with
+              | Some t -> Some t
+              | None -> invalidf "%%prec tag %s is not a terminal" name)
+          in
+          add_production lhs rhs prec_tag)
+        !(Hashtbl.find merged lhs_name))
+    lhs_order;
+  let productions = Array.of_list (List.rev !productions) in
+  let productions_of = Array.make (Array.length nonterminal_names) [] in
+  Array.iter
+    (fun p -> productions_of.(p.lhs) <- p.index :: productions_of.(p.lhs))
+    productions;
+  Array.iteri (fun i l -> productions_of.(i) <- List.rev l) productions_of;
+  { terminal_names; nonterminal_names; productions; productions_of;
+    start = start_nt; term_prec }
+
+let of_spec spec =
+  match of_spec_exn spec with
+  | g -> Ok g
+  | exception Invalid msg -> Error msg

@@ -1,0 +1,61 @@
+(** Context-free grammars, augmented and interned.
+
+    A grammar is built from a {!Spec_ast.t} (either written programmatically or
+    parsed from the yacc-like textual format by {!Spec_parser}). Construction
+    augments the grammar with:
+
+    - terminal 0, named ["$"], the end-of-input marker;
+    - nonterminal 0, named ["START"], with the single production
+      [START ::= s] (production 0) where [s] is the start symbol. *)
+
+type assoc = Spec_ast.assoc =
+  | Left
+  | Right
+  | Nonassoc
+
+type production = private {
+  index : int;  (** position in the production table; 0 is the start production *)
+  lhs : int;  (** nonterminal index *)
+  rhs : Symbol.t array;
+  prec_tag : int option;  (** terminal index of an explicit [%prec] override *)
+}
+
+type t
+
+val of_spec : Spec_ast.t -> (t, string) result
+
+exception Invalid of string
+
+val of_spec_exn : Spec_ast.t -> t
+(** @raise Invalid on malformed specs (no rules, bad [%prec] tag, ...). *)
+
+val n_terminals : t -> int
+val n_nonterminals : t -> int
+val n_productions : t -> int
+val production : t -> int -> production
+val productions_of : t -> int -> int list
+(** Production indices with the given nonterminal as left-hand side, in
+    declaration order. *)
+
+val start : t -> int
+(** The user's start nonterminal (not the augmented [START]). *)
+
+val terminal_name : t -> int -> string
+val nonterminal_name : t -> int -> string
+val symbol_name : t -> Symbol.t -> string
+val find_terminal : t -> string -> int option
+val find_nonterminal : t -> string -> int option
+val find_symbol : t -> string -> Symbol.t option
+(** Nonterminals shadow terminals of the same name (cannot happen for grammars
+    built by {!of_spec}, which rejects the overlap). *)
+
+val terminal_prec : t -> int -> (int * assoc) option
+(** Declared precedence level (higher binds tighter) and associativity. *)
+
+val production_prec : t -> production -> (int * assoc) option
+(** Effective precedence of a production: its [%prec] tag if any, otherwise
+    that of the rightmost terminal of its right-hand side. *)
+
+val pp_symbols : t -> Format.formatter -> Symbol.t list -> unit
+val pp_production : t -> Format.formatter -> production -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+(** Abstract syntax for the yacc-like grammar description language, shared by
+    the textual parser ({!Spec_parser}) and programmatic grammar builders. *)
+
+type assoc =
+  | Left
+  | Right
+  | Nonassoc
+
+type alt = {
+  symbols : string list;
+  prec_tag : string option;  (** explicit [%prec TOKEN] override *)
+}
+
+type rule = {
+  lhs : string;
+  alts : alt list;
+}
+
+type t = {
+  tokens : string list;  (** explicitly declared terminals (may be empty) *)
+  prec_levels : (assoc * string list) list;
+      (** precedence declarations, lowest precedence first *)
+  start : string option;
+  rules : rule list;
+}
+
+let alt ?prec_tag symbols = { symbols; prec_tag }
+
+let rule lhs alts = { lhs; alts }
+
+let make ?(tokens = []) ?(prec_levels = []) ?start rules =
+  { tokens; prec_levels; start; rules }

@@ -1,0 +1,120 @@
+type token =
+  | Ident of string
+  | Lit of string
+  | Colon
+  | Bar
+  | Semi
+  | Directive of string
+  | Eof
+
+type lexeme = {
+  token : token;
+  line : int;
+}
+
+exception Error of string
+
+let errorf fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '\'' || c = '-'
+
+(* Punctuation characters that may form bare terminal names. Structural
+   characters [: | ; %] and quote characters are deliberately excluded. *)
+let is_punct c = String.contains "+-*/=<>!?&^~@.,()[]{}" c
+
+let token_to_string = function
+  | Ident s -> s
+  | Lit s -> Fmt.str "%S" s
+  | Colon -> ":"
+  | Bar -> "|"
+  | Semi -> ";"
+  | Directive d -> "%" ^ d
+  | Eof -> "<eof>"
+
+let tokenize source =
+  let n = String.length source in
+  let lexemes = ref [] in
+  let line = ref 1 in
+  let emit token = lexemes := { token; line = !line } :: !lexemes in
+  let rec skip_block_comment i =
+    if i + 1 >= n then errorf "line %d: unterminated comment" !line
+    else if source.[i] = '\n' then begin
+      incr line;
+      skip_block_comment (i + 1)
+    end
+    else if source.[i] = '*' && source.[i + 1] = '/' then i + 2
+    else skip_block_comment (i + 1)
+  in
+  let rec skip_line_comment i =
+    if i >= n || source.[i] = '\n' then i else skip_line_comment (i + 1)
+  in
+  let scan_while p i =
+    let rec go j = if j < n && p source.[j] then go (j + 1) else j in
+    let j = go i in
+    String.sub source i (j - i), j
+  in
+  let scan_quoted quote i =
+    let rec go j =
+      if j >= n || source.[j] = '\n' then
+        errorf "line %d: unterminated %c-quoted literal" !line quote
+      else if source.[j] = quote then j
+      else go (j + 1)
+    in
+    let j = go i in
+    String.sub source i (j - i), j + 1
+  in
+  let rec go i =
+    if i >= n then emit Eof
+    else
+      let c = source.[i] in
+      if c = '\n' then begin
+        incr line;
+        go (i + 1)
+      end
+      else if c = ' ' || c = '\t' || c = '\r' then go (i + 1)
+      else if c = '/' && i + 1 < n && source.[i + 1] = '*' then
+        go (skip_block_comment (i + 2))
+      else if c = '/' && i + 1 < n && source.[i + 1] = '/' then
+        go (skip_line_comment (i + 2))
+      else if c = ':' then begin
+        emit Colon;
+        go (i + 1)
+      end
+      else if c = '|' then begin
+        emit Bar;
+        go (i + 1)
+      end
+      else if c = ';' then begin
+        emit Semi;
+        go (i + 1)
+      end
+      else if c = '%' then begin
+        let name, j = scan_while is_ident_char (i + 1) in
+        if name = "" then errorf "line %d: expected directive name after %%" !line;
+        emit (Directive name);
+        go j
+      end
+      else if c = '\'' || c = '"' then begin
+        let body, j = scan_quoted c (i + 1) in
+        if body = "" then errorf "line %d: empty literal" !line;
+        emit (Lit body);
+        go j
+      end
+      else if is_ident_start c then begin
+        let name, j = scan_while is_ident_char i in
+        emit (Ident name);
+        go j
+      end
+      else if is_punct c then begin
+        let name, j = scan_while is_punct i in
+        emit (Lit name);
+        go j
+      end
+      else errorf "line %d: unexpected character %C" !line c
+  in
+  go 0;
+  List.rev !lexemes

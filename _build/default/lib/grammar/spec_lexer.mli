@@ -1,0 +1,35 @@
+(** Lexer for the yacc-like grammar description language.
+
+    Lexical conventions:
+    - identifiers: [[A-Za-z_][A-Za-z0-9_'-]*];
+    - literals: ['...'] or ["..."] (the name is the quoted body), or a bare
+      maximal run of punctuation characters ([+-*/=<>!?&^~@.,()[]{}]);
+    - structural tokens: [:], [|], [;];
+    - directives: [%name];
+    - comments: [/* ... */] and [// ...]. *)
+
+type token =
+  | Ident of string
+  | Lit of string
+  | Colon
+  | Bar
+  | Semi
+  | Directive of string
+  | Eof
+
+type lexeme = {
+  token : token;
+  line : int;
+}
+
+exception Error of string
+
+val tokenize : string -> lexeme list
+(** @raise Error on lexical errors; the resulting list always ends with
+    an {!Eof} lexeme. *)
+
+val token_to_string : token -> string
+
+val is_ident_start : char -> bool
+val is_ident_char : char -> bool
+(** Character classes of the lexical syntax, exposed for the exporters. *)

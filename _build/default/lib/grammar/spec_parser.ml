@@ -1,0 +1,154 @@
+exception Error of string
+
+let errorf fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+type state = {
+  mutable input : Spec_lexer.lexeme list;
+}
+
+let peek st =
+  match st.input with
+  | lexeme :: _ -> lexeme
+  | [] -> errorf "unexpected end of token stream"
+
+let advance st =
+  match st.input with
+  | _ :: rest -> st.input <- rest
+  | [] -> ()
+
+let expect st token =
+  let lexeme = peek st in
+  if lexeme.token = token then advance st
+  else
+    errorf "line %d: expected %s but found %s" lexeme.line
+      (Spec_lexer.token_to_string token)
+      (Spec_lexer.token_to_string lexeme.token)
+
+let symbol_name st =
+  let lexeme = peek st in
+  match lexeme.token with
+  | Spec_lexer.Ident name | Spec_lexer.Lit name ->
+    advance st;
+    Some name
+  | Spec_lexer.Colon | Spec_lexer.Bar | Spec_lexer.Semi
+  | Spec_lexer.Directive _ | Spec_lexer.Eof ->
+    None
+
+(* Directive argument lists are line-scoped, so that a rule may follow a
+   declaration without a separator: symbols on later lines belong to whatever
+   comes next. *)
+let rec symbol_names_on_line st line acc =
+  let lexeme = peek st in
+  if lexeme.Spec_lexer.line <> line then List.rev acc
+  else
+    match symbol_name st with
+    | Some name -> symbol_names_on_line st line (name :: acc)
+    | None -> List.rev acc
+
+let parse_alt st =
+  let rec go symbols prec_tag =
+    let lexeme = peek st in
+    match lexeme.token with
+    | Spec_lexer.Ident name | Spec_lexer.Lit name ->
+      advance st;
+      if prec_tag <> None then
+        errorf "line %d: symbols after %%prec tag" lexeme.line;
+      go (name :: symbols) prec_tag
+    | Spec_lexer.Directive "prec" ->
+      advance st;
+      if prec_tag <> None then errorf "line %d: duplicate %%prec" lexeme.line;
+      (match symbol_name st with
+      | Some tag -> go symbols (Some tag)
+      | None -> errorf "line %d: expected a terminal after %%prec" lexeme.line)
+    | Spec_lexer.Bar | Spec_lexer.Semi ->
+      Spec_ast.{ symbols = List.rev symbols; prec_tag }
+    | Spec_lexer.Colon | Spec_lexer.Directive _ | Spec_lexer.Eof ->
+      errorf "line %d: unexpected %s in production" lexeme.line
+        (Spec_lexer.token_to_string lexeme.token)
+  in
+  go [] None
+
+let parse_rule st lhs =
+  expect st Spec_lexer.Colon;
+  let rec alts acc =
+    let alt = parse_alt st in
+    let lexeme = peek st in
+    match lexeme.token with
+    | Spec_lexer.Bar ->
+      advance st;
+      alts (alt :: acc)
+    | Spec_lexer.Semi ->
+      advance st;
+      List.rev (alt :: acc)
+    | Spec_lexer.Ident _ | Spec_lexer.Lit _ | Spec_lexer.Colon
+    | Spec_lexer.Directive _ | Spec_lexer.Eof ->
+      errorf "line %d: expected | or ; after production" lexeme.line
+  in
+  Spec_ast.{ lhs; alts = alts [] }
+
+let parse source =
+  let st = { input = Spec_lexer.tokenize source } in
+  let tokens = ref [] in
+  let prec_levels = ref [] in
+  let start = ref None in
+  let rules = ref [] in
+  let rec go () =
+    let lexeme = peek st in
+    match lexeme.token with
+    | Spec_lexer.Eof -> ()
+    | Spec_lexer.Directive "token" | Spec_lexer.Directive "term" ->
+      advance st;
+      tokens := !tokens @ symbol_names_on_line st lexeme.Spec_lexer.line [];
+      go ()
+    | Spec_lexer.Directive "start" ->
+      advance st;
+      (match symbol_name st with
+      | Some name ->
+        if !start <> None then errorf "line %d: duplicate %%start" lexeme.line;
+        start := Some name
+      | None -> errorf "line %d: expected a symbol after %%start" lexeme.line);
+      go ()
+    | Spec_lexer.Directive (("left" | "right" | "nonassoc") as d) ->
+      advance st;
+      let assoc =
+        match d with
+        | "left" -> Spec_ast.Left
+        | "right" -> Spec_ast.Right
+        | _ -> Spec_ast.Nonassoc
+      in
+      let names = symbol_names_on_line st lexeme.Spec_lexer.line [] in
+      if names = [] then
+        errorf "line %d: expected terminals after %%%s" lexeme.line d;
+      prec_levels := (assoc, names) :: !prec_levels;
+      go ()
+    | Spec_lexer.Directive d ->
+      errorf "line %d: unknown directive %%%s" lexeme.line d
+    | Spec_lexer.Ident lhs ->
+      advance st;
+      rules := parse_rule st lhs :: !rules;
+      go ()
+    | Spec_lexer.Lit _ | Spec_lexer.Colon | Spec_lexer.Bar | Spec_lexer.Semi ->
+      errorf "line %d: expected a rule or directive, found %s" lexeme.line
+        (Spec_lexer.token_to_string lexeme.token)
+  in
+  go ();
+  Spec_ast.
+    { tokens = !tokens;
+      prec_levels = List.rev !prec_levels;
+      start = !start;
+      rules = List.rev !rules }
+
+let parse_result source =
+  match parse source with
+  | spec -> Ok spec
+  | exception Error msg | exception Spec_lexer.Error msg -> Error msg
+
+let grammar_of_string source =
+  match parse_result source with
+  | Error _ as e -> e
+  | Ok spec -> Grammar.of_spec spec
+
+let grammar_of_string_exn source =
+  match grammar_of_string source with
+  | Ok g -> g
+  | Error msg -> errorf "%s" msg

@@ -1,0 +1,32 @@
+(** Parser for the yacc-like grammar description language.
+
+    The format follows yacc conventions:
+    {v
+    %token ID NUM            // optional explicit terminal declarations
+    %start stmt
+    %left '+' '-'            // precedence, lowest first
+    %left '*'
+    stmt : IF expr THEN stmt ELSE stmt
+         | IF expr THEN stmt
+         ;
+    expr : expr '+' expr %prec '+'
+         |                       // empty alternative
+         ;
+    v}
+
+    Any symbol appearing as a rule's left-hand side is a nonterminal; all
+    other symbols are terminals. Without a [%start] directive the first rule's
+    left-hand side is the start symbol. *)
+
+exception Error of string
+
+val parse : string -> Spec_ast.t
+(** @raise Error on syntax errors (with a line number). *)
+
+val parse_result : string -> (Spec_ast.t, string) result
+
+val grammar_of_string : string -> (Grammar.t, string) result
+(** Parse and elaborate in one step. *)
+
+val grammar_of_string_exn : string -> Grammar.t
+(** @raise Error on parse or elaboration errors. *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Bitset Buffer Cfg Corpus Derivation Grammar List Option QCheck QCheck_alcotest Spec_parser String Symbol

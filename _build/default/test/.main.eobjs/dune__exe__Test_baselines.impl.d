@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Automaton Baselines Cfg Conflict Corpus Earley Grammar Lalr List Parse_table QCheck QCheck_alcotest Spec_parser Symbol Test_analysis

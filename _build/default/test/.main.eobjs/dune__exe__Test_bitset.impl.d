@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Bitset Cfg Int List QCheck QCheck_alcotest

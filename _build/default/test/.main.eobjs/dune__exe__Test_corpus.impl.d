@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Automaton Cex Cfg Conflict Corpus Derivation Earley Fmt Grammar List Option Parse_table Spec_parser Symbol

@@ -1,0 +1,1 @@
+test/test_earley.ml: Alcotest Analysis Array Cfg Corpus Derivation Earley Grammar List Option QCheck QCheck_alcotest Random Spec_parser Symbol Test_analysis

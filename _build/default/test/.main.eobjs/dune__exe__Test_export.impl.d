@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Automaton Cfg Corpus Export Fun Grammar List Lr0 Option Parse_table QCheck QCheck_alcotest Spec_parser String Test_analysis

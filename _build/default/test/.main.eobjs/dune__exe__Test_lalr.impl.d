@@ -1,0 +1,1 @@
+test/test_lalr.ml: Alcotest Array Automaton Bitset Cfg Corpus Derivation Grammar Item Lalr List Lr0 Spec_parser String

@@ -1,0 +1,1 @@
+test/test_lookahead_path.ml: Alcotest Automaton Bitset Cex Cfg Conflict Corpus Grammar Item Lalr List Lr0 Option Parse_table Spec_parser

@@ -1,0 +1,1 @@
+test/test_lr0.ml: Alcotest Array Automaton Cfg Corpus Grammar Item List Lr0 Option Spec_parser Symbol

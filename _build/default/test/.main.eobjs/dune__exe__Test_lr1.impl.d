@@ -1,0 +1,1 @@
+test/test_lr1.ml: Alcotest Automaton Cfg Corpus List Lr0 Lr1 Parse_table QCheck QCheck_alcotest Spec_parser Test_analysis

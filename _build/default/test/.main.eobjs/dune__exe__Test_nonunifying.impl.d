@@ -1,0 +1,1 @@
+test/test_nonunifying.ml: Alcotest Automaton Cex Cfg Conflict Corpus Derivation Earley Fmt Grammar Lalr List Parse_table Spec_parser Symbol

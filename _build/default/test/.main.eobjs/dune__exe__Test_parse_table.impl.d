@@ -1,0 +1,1 @@
+test/test_parse_table.ml: Alcotest Array Automaton Bitset Cex Cfg Conflict Corpus Derivation Fmt Grammar Item List Option Parse_table Runner Spec_parser String

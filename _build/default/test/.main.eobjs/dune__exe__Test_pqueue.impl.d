@@ -1,0 +1,1 @@
+test/test_pqueue.ml: Alcotest Cex Int List QCheck QCheck_alcotest

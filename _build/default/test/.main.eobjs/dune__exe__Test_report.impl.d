@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Cex Cfg Corpus Derivation Fmt List Spec_parser String

@@ -1,0 +1,1 @@
+test/test_runner.ml: Alcotest Analysis Automaton Cfg Corpus Derivation Grammar List Parse_table QCheck QCheck_alcotest Runner Spec_parser Symbol Test_analysis

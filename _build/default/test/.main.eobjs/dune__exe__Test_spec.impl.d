@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Array Cfg Corpus Grammar List Option Spec_lexer Spec_parser Symbol

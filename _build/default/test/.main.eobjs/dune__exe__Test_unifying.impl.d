@@ -1,0 +1,1 @@
+test/test_unifying.ml: Alcotest Automaton Cex Cfg Conflict Corpus Derivation Earley Grammar Lalr List Option Parse_table QCheck QCheck_alcotest Spec_parser Symbol Test_analysis

@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "lrcex"
+    [ Test_bitset.suite;
+      Test_pqueue.suite;
+      Test_spec.suite;
+      Test_analysis.suite;
+      Test_lr0.suite;
+      Test_lalr.suite;
+      Test_parse_table.suite;
+      Test_lr1.suite;
+      Test_runner.suite;
+      Test_earley.suite;
+      Test_lookahead_path.suite;
+      Test_nonunifying.suite;
+      Test_unifying.suite;
+      Test_report.suite;
+      Test_baselines.suite;
+      Test_corpus.suite;
+      Test_export.suite ]

@@ -1,0 +1,90 @@
+open Cfg
+
+let check_elems msg expected s =
+  Alcotest.(check (list int)) msg expected (Bitset.elements s)
+
+let test_basic () =
+  let s = Bitset.of_list [ 3; 1; 200; 3 ] in
+  check_elems "of_list sorts and dedups" [ 1; 3; 200 ] s;
+  Alcotest.(check bool) "mem 200" true (Bitset.mem s 200);
+  Alcotest.(check bool) "mem 2" false (Bitset.mem s 2);
+  Alcotest.(check int) "cardinal" 3 (Bitset.cardinal s);
+  check_elems "remove" [ 1; 3 ] (Bitset.remove s 200);
+  check_elems "remove absent is id" [ 1; 3; 200 ] (Bitset.remove s 5)
+
+let test_set_ops () =
+  let a = Bitset.of_list [ 0; 5; 64; 65 ] in
+  let b = Bitset.of_list [ 5; 64; 300 ] in
+  check_elems "union" [ 0; 5; 64; 65; 300 ] (Bitset.union a b);
+  check_elems "inter" [ 5; 64 ] (Bitset.inter a b);
+  Alcotest.(check bool) "subset refl" true (Bitset.subset a a);
+  Alcotest.(check bool) "subset" true (Bitset.subset (Bitset.of_list [ 5 ]) a);
+  Alcotest.(check bool) "not subset" false (Bitset.subset b a);
+  Alcotest.(check bool) "disjoint" true
+    (Bitset.disjoint (Bitset.of_list [ 1 ]) (Bitset.of_list [ 2; 128 ]));
+  Alcotest.(check bool) "not disjoint" false (Bitset.disjoint a b)
+
+let test_equality_across_widths () =
+  (* Sets differing only by trailing zero words must be equal, hash equal,
+     and compare equal. *)
+  let narrow = Bitset.singleton 1 in
+  let wide = Bitset.remove (Bitset.of_list [ 1; 500 ]) 500 in
+  Alcotest.(check bool) "equal" true (Bitset.equal narrow wide);
+  Alcotest.(check int) "compare" 0 (Bitset.compare narrow wide);
+  Alcotest.(check int) "hash" (Bitset.hash narrow) (Bitset.hash wide)
+
+let test_compare_order () =
+  let a = Bitset.of_list [ 1 ] in
+  let b = Bitset.of_list [ 2 ] in
+  let c = Bitset.of_list [ 1; 2 ] in
+  Alcotest.(check bool) "a < b" true (Bitset.compare a b < 0);
+  Alcotest.(check bool) "b < c" true (Bitset.compare b c < 0);
+  Alcotest.(check bool) "antisym" true
+    (Bitset.compare b a > 0 && Bitset.compare c b > 0)
+
+let test_choose_fold () =
+  Alcotest.(check (option int)) "choose empty" None (Bitset.choose Bitset.empty);
+  Alcotest.(check (option int))
+    "choose smallest" (Some 7)
+    (Bitset.choose (Bitset.of_list [ 9; 7; 100 ]));
+  let sum = Bitset.fold ( + ) (Bitset.of_list [ 1; 2; 3 ]) 0 in
+  Alcotest.(check int) "fold sum" 6 sum
+
+let prop_union_mem =
+  QCheck.Test.make ~name:"union membership" ~count:200
+    QCheck.(pair (small_list (int_bound 400)) (small_list (int_bound 400)))
+    (fun (xs, ys) ->
+      let u = Bitset.union (Bitset.of_list xs) (Bitset.of_list ys) in
+      List.for_all (Bitset.mem u) xs
+      && List.for_all (Bitset.mem u) ys
+      && Bitset.cardinal u
+         = List.length
+             (List.sort_uniq Int.compare (xs @ ys)))
+
+let prop_inter_mem =
+  QCheck.Test.make ~name:"inter membership" ~count:200
+    QCheck.(pair (small_list (int_bound 200)) (small_list (int_bound 200)))
+    (fun (xs, ys) ->
+      let i = Bitset.inter (Bitset.of_list xs) (Bitset.of_list ys) in
+      Bitset.fold (fun e ok -> ok && List.mem e xs && List.mem e ys) i true)
+
+let prop_compare_total =
+  QCheck.Test.make ~name:"compare is a total order consistent with equal"
+    ~count:200
+    QCheck.(pair (small_list (int_bound 150)) (small_list (int_bound 150)))
+    (fun (xs, ys) ->
+      let a = Bitset.of_list xs and b = Bitset.of_list ys in
+      let c = Bitset.compare a b in
+      Bitset.equal a b = (c = 0) && c = -Bitset.compare b a)
+
+let suite =
+  ( "bitset",
+    [ Alcotest.test_case "basic" `Quick test_basic;
+      Alcotest.test_case "set ops" `Quick test_set_ops;
+      Alcotest.test_case "equality across widths" `Quick
+        test_equality_across_widths;
+      Alcotest.test_case "compare order" `Quick test_compare_order;
+      Alcotest.test_case "choose and fold" `Quick test_choose_fold;
+      QCheck_alcotest.to_alcotest prop_union_mem;
+      QCheck_alcotest.to_alcotest prop_inter_mem;
+      QCheck_alcotest.to_alcotest prop_compare_total ] )

@@ -1,0 +1,120 @@
+open Cfg
+open Automaton
+
+let build source =
+  let g = Spec_parser.grammar_of_string_exn source in
+  Lalr.build (Lr0.build g)
+
+let la_names lalr s item =
+  let g = Lalr.grammar lalr in
+  Lalr.lookahead_item lalr s item
+  |> Bitset.elements
+  |> List.map (Grammar.terminal_name g)
+  |> List.sort String.compare
+
+let item_of lalr s rendered =
+  let g = Lalr.grammar lalr in
+  let st = Lr0.state (Lalr.lr0 lalr) s in
+  let found =
+    Array.to_list st.Lr0.items
+    |> List.find_opt (fun i -> String.equal (Item.to_string g i) rendered)
+  in
+  match found with
+  | Some i -> i
+  | None -> Alcotest.failf "item %s not in state %d" rendered s
+
+let state_with lalr rendered =
+  let lr0 = Lalr.lr0 lalr in
+  let g = Lalr.grammar lalr in
+  let rec go s =
+    if s >= Lr0.n_states lr0 then Alcotest.failf "no state with %s" rendered
+    else
+      let st = Lr0.state lr0 s in
+      if
+        Array.exists
+          (fun i -> String.equal (Item.to_string g i) rendered)
+          st.Lr0.items
+      then s
+      else go (s + 1)
+  in
+  go 0
+
+(* Figure 2, State 0: the closure items of the dangling-else grammar carry
+   the lookahead sets shown in the paper. *)
+let test_figure2_state0 () =
+  let lalr = build Corpus.Paper_grammars.figure1 in
+  let dot = Derivation.dot_marker in
+  let check rendered expected =
+    Alcotest.(check (list string))
+      rendered expected
+      (la_names lalr Lr0.start_state (item_of lalr 0 rendered))
+  in
+  check ("stmt ::= " ^ dot ^ " IF expr THEN stmt ELSE stmt") [ "$" ];
+  check ("stmt ::= " ^ dot ^ " expr ? stmt stmt") [ "$" ];
+  check ("expr ::= " ^ dot ^ " num") [ "+"; "?" ];
+  check ("expr ::= " ^ dot ^ " expr + expr") [ "+"; "?" ];
+  check ("num ::= " ^ dot ^ " DIGIT") [ "+"; "?"; "DIGIT" ];
+  check ("num ::= " ^ dot ^ " num DIGIT") [ "+"; "?"; "DIGIT" ]
+
+(* Figure 2, State 6 (reached on IF): expr items are followed by THEN or +. *)
+let test_figure2_state6 () =
+  let lalr = build Corpus.Paper_grammars.figure1 in
+  let dot = Derivation.dot_marker in
+  let rendered = "expr ::= " ^ dot ^ " num" in
+  let s = state_with lalr ("stmt ::= IF " ^ dot ^ " expr THEN stmt ELSE stmt") in
+  Alcotest.(check (list string))
+    "expr lookahead after IF" [ "+"; "THEN" ]
+    (la_names lalr s (item_of lalr s rendered))
+
+(* The dangling-else reduce item can be followed by $ and ELSE (and the
+   symbols that can follow a statement). *)
+let test_dangling_else_lookahead () =
+  let lalr = build Corpus.Paper_grammars.figure1 in
+  let dot = Derivation.dot_marker in
+  let rendered = "stmt ::= IF expr THEN stmt " ^ dot in
+  let s = state_with lalr rendered in
+  let names = la_names lalr s (item_of lalr s rendered) in
+  Alcotest.(check bool) "contains $" true (List.mem "$" names);
+  Alcotest.(check bool) "contains ELSE" true (List.mem "ELSE" names)
+
+(* figure3 is LR(2): the x ::= a reduce item has lookahead containing 'a'
+   (imprecisely), which is exactly why LALR(1) reports a conflict. *)
+let test_figure3_imprecision () =
+  let lalr = build Corpus.Paper_grammars.figure3 in
+  let dot = Derivation.dot_marker in
+  let rendered = "x ::= a " ^ dot in
+  let s = state_with lalr rendered in
+  let names = la_names lalr s (item_of lalr s rendered) in
+  Alcotest.(check bool) "lookahead includes a" true (List.mem "a" names)
+
+(* Dragon-book grammar 4.55 (S -> C C; C -> c C | d) is LALR(1): lookaheads
+   of the C -> c C . kernels must merge to {c, d, $}. *)
+let test_dragon_455 () =
+  let lalr = build "s : c_ c_ ; c_ : C c_ | D ;" in
+  let dot = Derivation.dot_marker in
+  let rendered = "c_ ::= C c_ " ^ dot in
+  let s = state_with lalr rendered in
+  Alcotest.(check (list string))
+    "merged lookaheads" [ "$"; "C"; "D" ]
+    (la_names lalr s (item_of lalr s rendered))
+
+(* Lookahead flow respects nullable suffixes. *)
+let test_nullable_flow () =
+  let lalr = build "s : a_ opt B ; a_ : A ; opt : C | ;" in
+  let dot = Derivation.dot_marker in
+  let rendered = "a_ ::= " ^ dot ^ " A" in
+  let s = state_with lalr rendered in
+  Alcotest.(check (list string))
+    "lookahead skips nullable opt" [ "B"; "C" ]
+    (la_names lalr s (item_of lalr s rendered))
+
+let suite =
+  ( "lalr",
+    [ Alcotest.test_case "figure2 state 0 lookaheads" `Quick test_figure2_state0;
+      Alcotest.test_case "figure2 state 6 lookaheads" `Quick test_figure2_state6;
+      Alcotest.test_case "dangling else lookahead" `Quick
+        test_dangling_else_lookahead;
+      Alcotest.test_case "figure3 LALR imprecision" `Quick
+        test_figure3_imprecision;
+      Alcotest.test_case "dragon 4.55 merge" `Quick test_dragon_455;
+      Alcotest.test_case "nullable lookahead flow" `Quick test_nullable_flow ] )

@@ -1,0 +1,125 @@
+open Cfg
+open Automaton
+
+let build source = Lr0.build (Spec_parser.grammar_of_string_exn source)
+
+let find_state_with_items lr0 item_strings =
+  let g = Lr0.grammar lr0 in
+  let rec go s =
+    if s >= Lr0.n_states lr0 then None
+    else
+      let st = Lr0.state lr0 s in
+      let strings =
+        Array.to_list st.Lr0.items |> List.map (Item.to_string g)
+      in
+      if List.for_all (fun i -> List.mem i strings) item_strings then Some s
+      else go (s + 1)
+  in
+  go 0
+
+(* State counts: the paper's Table 1 uses CUP, which adds an explicit
+   end-of-input shift state; our automaton has exactly one state fewer. *)
+let test_state_counts () =
+  let check name expected =
+    let lr0 = build (Corpus.find name).Corpus.source in
+    Alcotest.(check int) name expected (Lr0.n_states lr0)
+  in
+  check "figure1" (24 - 1);
+  check "figure3" (10 - 1);
+  check "figure7" (16 - 1)
+
+let test_figure2_state10 () =
+  (* Figure 2's State 10 contains exactly the two dangling-else items. *)
+  let lr0 = build Corpus.Paper_grammars.figure1 in
+  match
+    find_state_with_items lr0
+      [ "stmt ::= IF expr THEN stmt \xe2\x80\xa2 ELSE stmt";
+        "stmt ::= IF expr THEN stmt \xe2\x80\xa2" ]
+  with
+  | None -> Alcotest.fail "dangling-else state not found"
+  | Some s ->
+    let st = Lr0.state lr0 s in
+    Alcotest.(check int) "exactly two items" 2 (Array.length st.Lr0.items)
+
+let test_start_state_closure () =
+  let lr0 = build Corpus.Paper_grammars.figure1 in
+  let st = Lr0.state lr0 Lr0.start_state in
+  (* Figure 2's State 0: START item + 4 stmt + 2 expr + 2 num items. *)
+  Alcotest.(check int) "start state item count" 9 (Array.length st.Lr0.items);
+  Alcotest.(check bool) "has start item" true (Lr0.has_item st Item.start)
+
+let test_accessing_and_predecessors () =
+  let lr0 = build Corpus.Paper_grammars.figure1 in
+  let g = Lr0.grammar lr0 in
+  Alcotest.(check bool) "start state has no accessing symbol" true
+    ((Lr0.state lr0 0).Lr0.accessing = None);
+  for s = 1 to Lr0.n_states lr0 - 1 do
+    let st = Lr0.state lr0 s in
+    (match st.Lr0.accessing with
+    | None -> Alcotest.failf "state %d has no accessing symbol" s
+    | Some sym ->
+      (* Every predecessor really has a transition on the accessing symbol
+         into this state. *)
+      List.iter
+        (fun p ->
+          match Lr0.transition lr0 p sym with
+          | Some target when target = s -> ()
+          | Some target ->
+            Alcotest.failf "predecessor %d of %d goes to %d on %s" p s target
+              (Grammar.symbol_name g sym)
+          | None ->
+            Alcotest.failf "predecessor %d of %d has no %s transition" p s
+              (Grammar.symbol_name g sym))
+        st.Lr0.predecessors);
+    (* All kernel items of a non-start state have the accessing symbol just
+       before the dot. *)
+    List.iter
+      (fun item ->
+        match Item.prev_symbol g item, st.Lr0.accessing with
+        | Some before, Some acc ->
+          Alcotest.(check bool) "kernel item matches accessing symbol" true
+            (Symbol.equal before acc)
+        | _ -> Alcotest.fail "kernel item without previous symbol")
+      (Lr0.kernel_items lr0 s)
+  done
+
+let test_transitions_total_on_next_symbols () =
+  let lr0 = build Corpus.Paper_grammars.figure7 in
+  let g = Lr0.grammar lr0 in
+  for s = 0 to Lr0.n_states lr0 - 1 do
+    Array.iter
+      (fun item ->
+        match Item.next_symbol g item with
+        | None -> ()
+        | Some sym -> (
+          match Lr0.transition lr0 s sym with
+          | Some target ->
+            let st' = Lr0.state lr0 target in
+            Alcotest.(check bool) "advanced item present" true
+              (Lr0.has_item st' (Item.advance item))
+          | None -> Alcotest.failf "missing transition in state %d" s))
+      (Lr0.state lr0 s).Lr0.items
+  done
+
+let test_items_with_next () =
+  let lr0 = build Corpus.Paper_grammars.figure7 in
+  let g = Lr0.grammar lr0 in
+  let b = Option.get (Grammar.find_terminal g "b") in
+  (* In the conflict state (after n a), two items expect b next. *)
+  let conflict_state =
+    Option.get
+      (find_state_with_items lr0 [ "a_ ::= a \xe2\x80\xa2" ])
+  in
+  let items = Lr0.items_with_next lr0 conflict_state (Symbol.Terminal b) in
+  Alcotest.(check int) "two b-shift items" 2 (List.length items)
+
+let suite =
+  ( "lr0",
+    [ Alcotest.test_case "state counts vs paper" `Quick test_state_counts;
+      Alcotest.test_case "figure2 state 10" `Quick test_figure2_state10;
+      Alcotest.test_case "start state closure" `Quick test_start_state_closure;
+      Alcotest.test_case "accessing symbols and predecessors" `Quick
+        test_accessing_and_predecessors;
+      Alcotest.test_case "transitions cover next symbols" `Quick
+        test_transitions_total_on_next_symbols;
+      Alcotest.test_case "items with next" `Quick test_items_with_next ] )

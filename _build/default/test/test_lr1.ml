@@ -1,0 +1,83 @@
+open Cfg
+open Automaton
+
+let setup source =
+  let g = Spec_parser.grammar_of_string_exn source in
+  let table = Parse_table.build g in
+  g, table, Lr1.build g
+
+(* The textbook LR(1)-but-not-LALR(1) grammar: merging the two states after
+   'c' creates a reduce/reduce conflict that canonical LR(1) does not have. *)
+let lr1_not_lalr = "s : A a_ D | B b_ D | A b_ E | B a_ E ; a_ : C ; b_ : C ;"
+
+let test_lr1_resolves_merging () =
+  let _, table, lr1 = setup lr1_not_lalr in
+  let lalr_conflicts = Parse_table.conflicts table in
+  Alcotest.(check int) "LALR sees a conflict" 1 (List.length lalr_conflicts);
+  Alcotest.(check int) "canonical LR(1) does not" 0
+    (List.length (Lr1.conflicts lr1));
+  Alcotest.(check int) "classified as a merging artifact" 1
+    (List.length
+       (Lr1.merging_artifacts ~lalr_conflicts
+          ~lr1_conflicts:(Lr1.conflicts lr1)))
+
+let test_lr1_larger_than_lalr () =
+  let _, table, lr1 = setup lr1_not_lalr in
+  Alcotest.(check bool) "more LR(1) states" true
+    (Lr1.n_states lr1 > Lr0.n_states (Parse_table.lr0 table))
+
+(* figure3 is LR(2): its conflict persists in canonical LR(1). *)
+let test_figure3_conflict_persists () =
+  let _, table, lr1 = setup Corpus.Paper_grammars.figure3 in
+  let lalr_conflicts = Parse_table.conflicts table in
+  let lr1_conflicts = Lr1.conflicts lr1 in
+  Alcotest.(check bool) "conflict persists" true (lr1_conflicts <> []);
+  Alcotest.(check int) "no merging artifacts" 0
+    (List.length (Lr1.merging_artifacts ~lalr_conflicts ~lr1_conflicts))
+
+(* Ambiguous grammars keep their conflicts too. *)
+let test_figure1_conflicts_persist () =
+  let _, table, lr1 = setup Corpus.Paper_grammars.figure1 in
+  Alcotest.(check int) "no artifacts on figure1" 0
+    (List.length
+       (Lr1.merging_artifacts
+          ~lalr_conflicts:(Parse_table.conflicts table)
+          ~lr1_conflicts:(Lr1.conflicts lr1)))
+
+(* On LALR(1) grammars the canonical automaton is conflict-free and accepts
+   the same kernels reachable from the start. *)
+let test_clean_grammar () =
+  let _, table, lr1 = setup "s : c_ c_ ; c_ : C c_ | D ;" in
+  Alcotest.(check int) "LALR clean" 0 (List.length (Parse_table.conflicts table));
+  Alcotest.(check int) "LR(1) clean" 0 (List.length (Lr1.conflicts lr1))
+
+(* Property: canonical LR(1) never reports a conflict pair that LALR does not
+   also report (LALR lookaheads are supersets), so artifacts = LALR \ LR1. *)
+let prop_lr1_conflicts_subset =
+  QCheck.Test.make ~name:"LR(1) conflict signatures are a subset of LALR's"
+    ~count:60 (QCheck.make Test_analysis.gen_spec) (fun source ->
+      let g = Spec_parser.grammar_of_string_exn source in
+      let table = Parse_table.build g in
+      let lr1 = Lr1.build g in
+      let lalr_sigs =
+        List.length
+          (Lr1.merging_artifacts
+             ~lalr_conflicts:(Lr1.conflicts lr1)
+             ~lr1_conflicts:(Parse_table.conflicts table))
+      in
+      (* Reversing the roles: every LR(1) conflict must be "explained" by
+         some LALR conflict. *)
+      lalr_sigs = 0)
+
+let suite =
+  ( "lr1",
+    [ Alcotest.test_case "resolves LALR merging" `Quick
+        test_lr1_resolves_merging;
+      Alcotest.test_case "LR(1) larger than LALR" `Quick
+        test_lr1_larger_than_lalr;
+      Alcotest.test_case "figure3 conflict persists" `Quick
+        test_figure3_conflict_persists;
+      Alcotest.test_case "figure1 conflicts persist" `Quick
+        test_figure1_conflicts_persist;
+      Alcotest.test_case "clean grammar" `Quick test_clean_grammar;
+      QCheck_alcotest.to_alcotest prop_lr1_conflicts_subset ] )

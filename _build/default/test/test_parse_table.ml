@@ -1,0 +1,146 @@
+open Cfg
+open Automaton
+
+let table source = Parse_table.build (Spec_parser.grammar_of_string_exn source)
+
+let conflict_count source = List.length (Parse_table.conflicts (table source))
+
+let test_paper_conflict_counts () =
+  let check name =
+    let e = Corpus.find name in
+    Alcotest.(check int) name
+      (Option.get e.Corpus.paper_conflicts)
+      (conflict_count e.Corpus.source)
+  in
+  List.iter check [ "figure1"; "figure3"; "figure7" ]
+
+let test_conflict_items_figure1 () =
+  let t = table Corpus.Paper_grammars.figure1 in
+  let g = Parse_table.grammar t in
+  let descriptions =
+    Parse_table.conflicts t
+    |> List.map (fun c ->
+           Fmt.str "%s/%s under %s"
+             (Item.to_string g (Conflict.reduce_item c))
+             (Item.to_string g (Conflict.other_item c))
+             (Grammar.terminal_name g c.Conflict.terminal))
+    |> List.sort String.compare
+  in
+  let dot = Derivation.dot_marker in
+  Alcotest.(check (list string))
+    "three conflicts"
+    (List.sort String.compare
+       [ "expr ::= num " ^ dot ^ "/num ::= num " ^ dot ^ " DIGIT under DIGIT";
+         "expr ::= expr + expr " ^ dot ^ "/expr ::= expr " ^ dot
+         ^ " + expr under +";
+         "stmt ::= IF expr THEN stmt " ^ dot ^ "/stmt ::= IF expr THEN stmt "
+         ^ dot ^ " ELSE stmt under ELSE" ])
+    descriptions
+
+let test_precedence_resolution () =
+  Alcotest.(check int) "unresolved without %left" 1
+    (conflict_count Corpus.Paper_grammars.expr_plus);
+  let t = table Corpus.Paper_grammars.expr_plus_resolved in
+  Alcotest.(check int) "resolved with %left" 0
+    (List.length (Parse_table.conflicts t));
+  Alcotest.(check bool) "resolution counted" true
+    (Parse_table.precedence_resolved t > 0)
+
+let test_reduce_reduce () =
+  (* Classic reduce/reduce: two nonterminals deriving the same terminal. *)
+  let t = table "s : a_ X | b_ X Y ; a_ : C ; b_ : C ;" in
+  match Parse_table.conflicts t with
+  | [ { Conflict.kind = Conflict.Reduce_reduce { terminals; _ }; _ } ] ->
+    let g = Parse_table.grammar t in
+    Alcotest.(check (list string))
+      "conflict terminals" [ "X" ]
+      (List.sort String.compare
+         (List.map (Grammar.terminal_name g) (Bitset.elements terminals)))
+  | cs -> Alcotest.failf "expected one reduce/reduce conflict, got %d" (List.length cs)
+
+let test_nonassoc_resolution () =
+  let t = table "%nonassoc EQ\n%start e\ne : e EQ e | N ;" in
+  Alcotest.(check int) "nonassoc resolves conflict" 0
+    (List.length (Parse_table.conflicts t));
+  (* N EQ N parses; N EQ N EQ N must not. *)
+  let ok input = Runner.parse_names t input in
+  (match ok [ "N"; "EQ"; "N" ] with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "N EQ N should parse");
+  match ok [ "N"; "EQ"; "N"; "EQ"; "N" ] with
+  | Ok _ -> Alcotest.fail "N EQ N EQ N should be rejected (nonassoc)"
+  | Error _ -> ()
+
+let test_resolved_conflicts_recorded () =
+  let t = table "%left +\n%right POW\n%start e\ne : e + e | e POW e | N ;" in
+  Alcotest.(check int) "no visible conflicts" 0
+    (List.length (Parse_table.conflicts t));
+  let resolved = Parse_table.resolved_conflicts t in
+  (* + vs +, + vs POW, POW vs +, POW vs POW: four silent decisions. *)
+  Alcotest.(check int) "four resolved pairs" 4 (List.length resolved);
+  let g = Parse_table.grammar t in
+  let find reduce_op shift_op =
+    List.find_map
+      (fun ((c : Conflict.t), resolution) ->
+        match c.Conflict.kind with
+        | Conflict.Shift_reduce { reduce_item; _ }
+          when Array.exists
+                 (fun sym -> Grammar.symbol_name g sym = reduce_op)
+                 (Item.production g reduce_item).Grammar.rhs
+               && Grammar.terminal_name g c.Conflict.terminal = shift_op ->
+          Some resolution
+        | Conflict.Shift_reduce _ | Conflict.Reduce_reduce _ -> None)
+      resolved
+  in
+  Alcotest.(check bool) "+/+ resolved to reduce (left assoc)" true
+    (find "+" "+" = Some Parse_table.Resolved_reduce);
+  Alcotest.(check bool) "POW/POW resolved to shift (right assoc)" true
+    (find "POW" "POW" = Some Parse_table.Resolved_shift);
+  (* And each resolved pair still admits a unifying counterexample: the
+     ambiguity is real, just settled. *)
+  let lalr = Parse_table.lalr t in
+  List.iter
+    (fun (c, _) ->
+      match (Cex.Driver.analyze_conflict lalr c).Cex.Driver.outcome with
+      | Cex.Driver.Found_unifying -> ()
+      | _ -> Alcotest.fail "resolved conflict should be a real ambiguity")
+    resolved
+
+let test_nonassoc_resolution_recorded () =
+  let t = table "%nonassoc EQ\n%start e\ne : e EQ e | N ;" in
+  match Parse_table.resolved_conflicts t with
+  | [ (_, Parse_table.Resolved_error) ] -> ()
+  | _ -> Alcotest.fail "expected one nonassoc resolution"
+
+let test_lalr1_grammar_clean () =
+  (* Dragon 4.55 is LALR(1): no conflicts at all. *)
+  Alcotest.(check int) "no conflicts" 0 (conflict_count "s : c_ c_ ; c_ : C c_ | D ;")
+
+let test_accept_action () =
+  let t = table "s : X ;" in
+  (match Runner.parse_names t [ "X" ] with
+  | Ok d ->
+    Alcotest.(check bool) "derivation validates" true
+      (Derivation.validate (Parse_table.grammar t) d)
+  | Error _ -> Alcotest.fail "X should parse");
+  match Runner.parse_names t [] with
+  | Ok _ -> Alcotest.fail "empty input should fail"
+  | Error e -> Alcotest.(check int) "error at position 0" 0 e.Runner.position
+
+let suite =
+  ( "parse_table",
+    [ Alcotest.test_case "paper conflict counts" `Quick
+        test_paper_conflict_counts;
+      Alcotest.test_case "figure1 conflict items" `Quick
+        test_conflict_items_figure1;
+      Alcotest.test_case "precedence resolution" `Quick
+        test_precedence_resolution;
+      Alcotest.test_case "reduce/reduce" `Quick test_reduce_reduce;
+      Alcotest.test_case "nonassoc" `Quick test_nonassoc_resolution;
+      Alcotest.test_case "resolved conflicts recorded" `Quick
+        test_resolved_conflicts_recorded;
+      Alcotest.test_case "nonassoc resolution recorded" `Quick
+        test_nonassoc_resolution_recorded;
+      Alcotest.test_case "LALR(1) grammar is clean" `Quick
+        test_lalr1_grammar_clean;
+      Alcotest.test_case "accept and error" `Quick test_accept_action ] )

@@ -1,0 +1,68 @@
+let drain q =
+  let rec go q acc =
+    match Cex.Pqueue.pop q with
+    | None -> List.rev acc
+    | Some (p, v, q') -> go q' ((p, v) :: acc)
+  in
+  go q []
+
+let test_ordering () =
+  let q =
+    List.fold_left
+      (fun q (p, v) -> Cex.Pqueue.add q p v)
+      Cex.Pqueue.empty
+      [ (5, "e"); (1, "a"); (3, "c"); (2, "b"); (4, "d") ]
+  in
+  Alcotest.(check (list string))
+    "sorted by priority"
+    [ "a"; "b"; "c"; "d"; "e" ]
+    (List.map snd (drain q))
+
+let test_fifo_ties () =
+  let q =
+    List.fold_left
+      (fun q v -> Cex.Pqueue.add q 7 v)
+      Cex.Pqueue.empty [ "first"; "second"; "third" ]
+  in
+  Alcotest.(check (list string))
+    "equal priorities pop in insertion order"
+    [ "first"; "second"; "third" ]
+    (List.map snd (drain q))
+
+let test_persistence () =
+  let q1 = Cex.Pqueue.add Cex.Pqueue.empty 1 "x" in
+  let q2 = Cex.Pqueue.add q1 0 "y" in
+  (* Popping q2 must not affect q1. *)
+  (match Cex.Pqueue.pop q2 with
+  | Some (0, "y", _) -> ()
+  | _ -> Alcotest.fail "expected y first from q2");
+  match Cex.Pqueue.pop q1 with
+  | Some (1, "x", rest) ->
+    Alcotest.(check bool) "q1 had one element" true (Cex.Pqueue.is_empty rest)
+  | _ -> Alcotest.fail "q1 disturbed by operations on q2"
+
+let test_size () =
+  let q = Cex.Pqueue.add (Cex.Pqueue.add Cex.Pqueue.empty 2 'a') 1 'b' in
+  Alcotest.(check int) "size" 2 (Cex.Pqueue.size q);
+  Alcotest.(check bool) "not empty" false (Cex.Pqueue.is_empty q)
+
+let prop_heap_sort =
+  QCheck.Test.make ~name:"pqueue drains in nondecreasing priority order"
+    ~count:300
+    QCheck.(small_list small_int)
+    (fun priorities ->
+      let q =
+        List.fold_left
+          (fun q p -> Cex.Pqueue.add q p p)
+          Cex.Pqueue.empty priorities
+      in
+      let drained = List.map fst (drain q) in
+      drained = List.sort Int.compare priorities)
+
+let suite =
+  ( "pqueue",
+    [ Alcotest.test_case "ordering" `Quick test_ordering;
+      Alcotest.test_case "fifo ties" `Quick test_fifo_ties;
+      Alcotest.test_case "persistence" `Quick test_persistence;
+      Alcotest.test_case "size" `Quick test_size;
+      QCheck_alcotest.to_alcotest prop_heap_sort ] )

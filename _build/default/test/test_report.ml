@@ -1,0 +1,43 @@
+open Cfg
+
+(* The report for the section-2.4 conflict must match the paper's Fig. 11
+   (modulo terminal spellings: we use '+' where CUP used PLUS). *)
+let test_figure11 () =
+  let g = Spec_parser.grammar_of_string_exn Corpus.Paper_grammars.expr_plus in
+  let r = Cex.Driver.analyze g in
+  match r.Cex.Driver.conflict_reports with
+  | [ cr ] ->
+    let text = Fmt.str "%a" (Cex.Report.pp_conflict_report g) cr in
+    let dot = Derivation.dot_marker in
+    let expected =
+      String.concat "\n"
+        [ "Warning : *** Shift/Reduce conflict found in state #4";
+          "between reduction on expr ::= expr + expr " ^ dot;
+          "and shift on expr ::= expr " ^ dot ^ " + expr";
+          "under symbol +";
+          "Ambiguity detected for nonterminal expr";
+          "Example: expr + expr " ^ dot ^ " + expr";
+          "Derivation using reduction:";
+          "  expr ::= [expr ::= [expr + expr " ^ dot ^ "] + expr]";
+          "Derivation using shift:";
+          "  expr ::= [expr + expr ::= [expr " ^ dot ^ " + expr]]" ]
+    in
+    Alcotest.(check string) "figure 11" expected text
+  | crs -> Alcotest.failf "expected 1 conflict report, got %d" (List.length crs)
+
+let contains ~substring text =
+  let n = String.length substring and m = String.length text in
+  let rec go i = i + n <= m && (String.sub text i n = substring || go (i + 1)) in
+  n = 0 || go 0
+
+let test_no_conflicts () =
+  let g = Spec_parser.grammar_of_string_exn "s : A s B | C ;" in
+  let r = Cex.Driver.analyze g in
+  let text = Cex.Report.to_string r in
+  Alcotest.(check bool) "mentions LALR(1)" true
+    (contains ~substring:"LALR(1)" text)
+
+let suite =
+  ( "report",
+    [ Alcotest.test_case "figure 11 format" `Quick test_figure11;
+      Alcotest.test_case "no conflicts" `Quick test_no_conflicts ] )

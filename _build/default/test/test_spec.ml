@@ -1,0 +1,130 @@
+open Cfg
+
+let parse_grammar source =
+  match Spec_parser.grammar_of_string source with
+  | Ok g -> g
+  | Error msg -> Alcotest.failf "grammar did not parse: %s" msg
+
+let test_lexer () =
+  let lexemes = Spec_lexer.tokenize "a : b '+' ':=' /* c */ ; // x\n%left" in
+  let tokens = List.map (fun l -> l.Spec_lexer.token) lexemes in
+  Alcotest.(check (list string))
+    "tokens"
+    [ "a"; ":"; "b"; "\"+\""; "\":=\""; ";"; "%left"; "<eof>" ]
+    (List.map Spec_lexer.token_to_string tokens)
+
+let test_lexer_lines () =
+  let lexemes = Spec_lexer.tokenize "a\nb\n\nc" in
+  Alcotest.(check (list int))
+    "line numbers" [ 1; 2; 4; 4 ]
+    (List.map (fun l -> l.Spec_lexer.line) lexemes)
+
+let test_lexer_errors () =
+  let fails s =
+    match Spec_lexer.tokenize s with
+    | _ -> Alcotest.failf "expected lexer error on %S" s
+    | exception Spec_lexer.Error _ -> ()
+  in
+  fails "a : 'unterminated";
+  fails "/* unterminated";
+  fails "`";
+  fails "''"
+
+let test_figure1_shape () =
+  let g = parse_grammar Corpus.Paper_grammars.figure1 in
+  (* Paper counts (Table 1): 3 nonterminals, 9 productions (including the
+     augmented start production). We additionally have the START symbol. *)
+  Alcotest.(check int) "nonterminals (incl START)" 4 (Grammar.n_nonterminals g);
+  Alcotest.(check int) "productions" 9 (Grammar.n_productions g);
+  Alcotest.(check string) "start" "stmt"
+    (Grammar.nonterminal_name g (Grammar.start g));
+  (* Terminals: $, IF, THEN, ELSE, ?, ARR, [, ], :=, +, DIGIT *)
+  Alcotest.(check int) "terminals" 11 (Grammar.n_terminals g);
+  let p0 = Grammar.production g 0 in
+  Alcotest.(check int) "start production lhs" 0 p0.Grammar.lhs;
+  Alcotest.(check int) "start production rhs" 1 (Array.length p0.Grammar.rhs)
+
+let test_merge_repeated_lhs () =
+  let g = parse_grammar "a : X ; b : Y ; a : Z ;" in
+  Alcotest.(check int) "productions" 4 (Grammar.n_productions g);
+  let of_a = Grammar.productions_of g 1 in
+  Alcotest.(check int) "a has two alternatives" 2 (List.length of_a)
+
+let test_empty_alternative () =
+  let g = parse_grammar "a : X a | ;" in
+  let alts = Grammar.productions_of g 1 in
+  let empty =
+    List.exists
+      (fun p -> Array.length (Grammar.production g p).Grammar.rhs = 0)
+      alts
+  in
+  Alcotest.(check bool) "has epsilon production" true empty
+
+let test_precedence () =
+  let g =
+    parse_grammar
+      "%left + -\n%left *\n%right POW\n%start e\ne : e + e | e * e | e POW e \
+       %prec POW | N ;"
+  in
+  let t name =
+    match Grammar.find_terminal g name with
+    | Some t -> t
+    | None -> Alcotest.failf "no terminal %s" name
+  in
+  Alcotest.(check bool) "plus level 0 left" true
+    (Grammar.terminal_prec g (t "+") = Some (0, Grammar.Left));
+  Alcotest.(check bool) "minus level 0" true
+    (Grammar.terminal_prec g (t "-") = Some (0, Grammar.Left));
+  Alcotest.(check bool) "star level 1" true
+    (Grammar.terminal_prec g (t "*") = Some (1, Grammar.Left));
+  Alcotest.(check bool) "pow right" true
+    (Grammar.terminal_prec g (t "POW") = Some (2, Grammar.Right));
+  Alcotest.(check bool) "N no prec" true
+    (Grammar.terminal_prec g (t "N") = None);
+  (* Production precedence: default = rightmost terminal. *)
+  let prod_with_sym name =
+    let sym = Option.get (Grammar.find_symbol g name) in
+    let rec go i =
+      let p = Grammar.production g i in
+      if Array.exists (Symbol.equal sym) p.Grammar.rhs then p else go (i + 1)
+    in
+    go 0
+  in
+  Alcotest.(check bool) "e + e has + prec" true
+    (Grammar.production_prec g (prod_with_sym "+") = Some (0, Grammar.Left))
+
+let test_spec_errors () =
+  let fails s =
+    match Spec_parser.grammar_of_string s with
+    | Ok _ -> Alcotest.failf "expected error on %S" s
+    | Error _ -> ()
+  in
+  fails "";
+  fails "a : X";
+  (* missing ; *)
+  fails "a : X ; %start b";
+  (* start not a nonterminal *)
+  fails "a : X %prec NOPE ; b : NOPE2 ;";
+  (* %prec tag not a terminal: NOPE never appears elsewhere... it becomes a
+     terminal actually; use a nonterminal as the tag instead *)
+  fails "a : X %prec a ;";
+  fails "%start a %start a\na : X ;";
+  fails "%left X\n%right X\na : X ;";
+  fails "a : X ; a : Y ; START : Z ;"
+
+let test_reserved_eof () =
+  match Spec_parser.grammar_of_string "a : '$' ;" with
+  | Ok _ -> Alcotest.fail "expected reserved-symbol error"
+  | Error _ -> ()
+
+let suite =
+  ( "spec",
+    [ Alcotest.test_case "lexer tokens" `Quick test_lexer;
+      Alcotest.test_case "lexer line numbers" `Quick test_lexer_lines;
+      Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+      Alcotest.test_case "figure1 shape" `Quick test_figure1_shape;
+      Alcotest.test_case "merge repeated lhs" `Quick test_merge_repeated_lhs;
+      Alcotest.test_case "empty alternative" `Quick test_empty_alternative;
+      Alcotest.test_case "precedence" `Quick test_precedence;
+      Alcotest.test_case "spec errors" `Quick test_spec_errors;
+      Alcotest.test_case "reserved eof symbol" `Quick test_reserved_eof ] )
