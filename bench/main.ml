@@ -232,9 +232,64 @@ let baseline_comparison () =
     Fmt.pr "@."
   end
 
+(* ------------------------------------------------------------------ *)
+(* The batch service: sequential-vs-parallel scheduler wall time on a
+   multi-conflict corpus entry, and the content-addressed cache. *)
+
+let scheduler_bench () =
+  let name = "stackovf10" in
+  let g = Corpus.grammar (Corpus.find name) in
+  let table = Parse_table.build g in
+  let n_conflicts = List.length (Parse_table.conflicts table) in
+  Fmt.pr "=== Batch service: scheduler and cache (%s, %d conflicts) ===@."
+    name n_conflicts;
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* One warmup run so major-heap state is comparable across both runs. *)
+  ignore (Cex_service.Scheduler.analyze_table ~jobs:1 table);
+  let sequential, t_seq =
+    time (fun () -> Cex_service.Scheduler.analyze_table ~jobs:1 table)
+  in
+  let parallel, t_par =
+    time (fun () -> Cex_service.Scheduler.analyze_table ~jobs:4 table)
+  in
+  let outcomes r =
+    ( Cex.Driver.n_unifying r,
+      Cex.Driver.n_nonunifying r,
+      Cex.Driver.n_timeout r )
+  in
+  let cores = Domain.recommended_domain_count () in
+  Fmt.pr "  sequential (1 worker):  %8.3f s@." t_seq;
+  Fmt.pr "  parallel   (4 workers): %8.3f s   speedup %.2fx%s@." t_par
+    (t_seq /. t_par)
+    (if outcomes sequential = outcomes parallel then ""
+     else "   OUTCOME MISMATCH");
+  if cores < 4 then
+    Fmt.pr
+      "  (only %d core%s available: domains timeshare, so the parallel run \
+       measures scheduler overhead; expect >= 1.5x speedup on >= 4 cores)@."
+      cores
+      (if cores = 1 then "" else "s");
+  (* Cache: a second analysis of the same grammar digest is a pure lookup. *)
+  let service = Cex_service.Scheduler.create ~jobs:4 () in
+  let (_ : Cex_service.Scheduler.batch_result * Cex_service.Stats.summary) =
+    Cex_service.Scheduler.analyze service ~name g
+  in
+  let (cached, _), t_hit =
+    time (fun () -> Cex_service.Scheduler.analyze service ~name g)
+  in
+  Fmt.pr "  report-cache hit:       %8.6f s   (served from cache: %b; %a)@."
+    t_hit cached.Cex_service.Scheduler.from_cache Cex_service.Cache.pp_counters
+    (Cex_service.Scheduler.report_cache_counters service);
+  Fmt.pr "@."
+
 let () =
   Fmt.pr "lrcex benchmark harness%s@.@." (if quick then " (quick mode)" else "");
   microbenchmarks ();
+  scheduler_bench ();
   let rows = table1 () in
   Evaluation.pp_effectiveness Fmt.stdout (Evaluation.effectiveness rows);
   Evaluation.pp_efficiency Fmt.stdout (Evaluation.efficiency rows);

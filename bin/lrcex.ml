@@ -1,92 +1,187 @@
 (* lrcex: analyze a grammar's parsing conflicts and report counterexamples,
-   in the manner of the paper's CUP extension. *)
+   in the manner of the paper's CUP extension — plus a batch mode that fans
+   many grammars (and their individual conflicts) out to a Domain worker
+   pool, with content-addressed caching and JSON reporting. *)
 
 let read_source = function
   | "-" -> In_channel.input_all stdin
   | path -> In_channel.with_open_text path In_channel.input_all
 
-let run path timeout cumulative extended show_states show_naive classify_lr1
-    show_resolved =
-  match Cfg.Spec_parser.grammar_of_string (read_source path) with
+let load_grammar path =
+  match read_source path with
+  | exception Sys_error msg -> Error msg
+  | source -> Cfg.Spec_parser.grammar_of_string source
+
+let make_options timeout cumulative extended =
+  { Cex.Driver.default_options with
+    Cex.Driver.per_conflict_timeout = timeout;
+    cumulative_timeout = cumulative;
+    extended }
+
+(* ------------------------------------------------------------------ *)
+(* The one-grammar command (the original behavior, plus --jobs/--json). *)
+
+let run path timeout cumulative extended jobs json show_states show_naive
+    classify_lr1 show_resolved =
+  match load_grammar path with
   | Error msg ->
     Fmt.epr "error: %s@." msg;
     1
   | Ok g ->
-    let options =
-      { Cex.Driver.default_options with
-        Cex.Driver.per_conflict_timeout = timeout;
-        cumulative_timeout = cumulative;
-        extended }
-    in
+    let options = make_options timeout cumulative extended in
     let table = Automaton.Parse_table.build g in
-    if show_states then
-      Fmt.pr "%a@." (fun ppf () -> Automaton.Lr0.pp ppf (Automaton.Parse_table.lr0 table)) ();
-    let report = Cex.Driver.analyze_table ~options table in
-    Fmt.pr "%s" (Cex.Report.to_string report);
-    if classify_lr1 then begin
-      let lalr_conflicts = Automaton.Parse_table.conflicts table in
-      if lalr_conflicts <> [] then begin
-        let lr1 = Automaton.Lr1.build g in
-        let artifacts =
-          Automaton.Lr1.merging_artifacts ~lalr_conflicts
-            ~lr1_conflicts:(Automaton.Lr1.conflicts lr1)
-        in
-        Fmt.pr
-          "@.[LR(1) classification] canonical LR(1): %d states; %d of %d conflicts are LALR merging artifacts@."
-          (Automaton.Lr1.n_states lr1)
-          (List.length artifacts) (List.length lalr_conflicts);
+    let report =
+      if jobs <= 1 then Cex.Driver.analyze_table ~options table
+      else Cex_service.Scheduler.analyze_table ~options ~jobs table
+    in
+    if json then
+      Fmt.pr "%s@."
+        (Cex_service.Json.to_string
+           (Cex_service.Json_report.report_to_json ~name:path report))
+    else begin
+      if show_states then
+        Fmt.pr "%a@."
+          (fun ppf () -> Automaton.Lr0.pp ppf (Automaton.Parse_table.lr0 table))
+          ();
+      Fmt.pr "%s" (Cex.Report.to_string report);
+      if classify_lr1 then begin
+        let lalr_conflicts = Automaton.Parse_table.conflicts table in
+        if lalr_conflicts <> [] then begin
+          let lr1 = Automaton.Lr1.build g in
+          let artifacts =
+            Automaton.Lr1.merging_artifacts ~lalr_conflicts
+              ~lr1_conflicts:(Automaton.Lr1.conflicts lr1)
+          in
+          Fmt.pr
+            "@.[LR(1) classification] canonical LR(1): %d states; %d of %d conflicts are LALR merging artifacts@."
+            (Automaton.Lr1.n_states lr1)
+            (List.length artifacts) (List.length lalr_conflicts);
+          List.iter
+            (fun c ->
+              Fmt.pr "@.@[<v>%a@]@.This conflict disappears under canonical LR(1): factor the grammar, no ambiguity here.@."
+                (Automaton.Conflict.pp g) c)
+            artifacts
+        end
+      end;
+      if show_resolved then begin
+        let lalr = Automaton.Parse_table.lalr table in
+        let resolved = Automaton.Parse_table.resolved_conflicts table in
+        if resolved <> [] then
+          Fmt.pr
+            "@.[precedence-resolved conflicts] %d shift/reduce decisions were settled silently; counterexamples for the ambiguities they resolve:@."
+            (List.length resolved);
+        List.iter
+          (fun (c, resolution) ->
+            let cr = Cex.Driver.analyze_conflict ~options lalr c in
+            Fmt.pr "@.@[<v>%a@]@.(resolved: %s)@."
+              (Cex.Report.pp_conflict_report g) cr
+              (match resolution with
+              | Automaton.Parse_table.Resolved_shift -> "in favour of the shift"
+              | Automaton.Parse_table.Resolved_reduce ->
+                "in favour of the reduction"
+              | Automaton.Parse_table.Resolved_error ->
+                "as a syntax error (nonassociative)"))
+          resolved
+      end;
+      if show_naive then begin
+        let lalr = Automaton.Parse_table.lalr table in
+        let analysis = Automaton.Lalr.analysis lalr in
         List.iter
           (fun c ->
-            Fmt.pr "@.@[<v>%a@]@.This conflict disappears under canonical LR(1): factor the grammar, no ambiguity here.@."
-              (Automaton.Conflict.pp g) c)
-          artifacts
+            match Baselines.Naive_path.find lalr c with
+            | None -> ()
+            | Some naive ->
+              Fmt.pr "@.[naive baseline%s]@.%a@."
+                (if Baselines.Naive_path.misleading analysis naive then
+                   " - MISLEADING"
+                 else "")
+                (Baselines.Naive_path.pp g) naive)
+          (Automaton.Parse_table.conflicts table)
       end
-    end;
-    if show_resolved then begin
-      let lalr = Automaton.Parse_table.lalr table in
-      let resolved = Automaton.Parse_table.resolved_conflicts table in
-      if resolved <> [] then
-        Fmt.pr
-          "@.[precedence-resolved conflicts] %d shift/reduce decisions were settled silently; counterexamples for the ambiguities they resolve:@."
-          (List.length resolved);
-      List.iter
-        (fun (c, resolution) ->
-          let cr = Cex.Driver.analyze_conflict ~options lalr c in
-          Fmt.pr "@.@[<v>%a@]@.(resolved: %s)@."
-            (Cex.Report.pp_conflict_report g) cr
-            (match resolution with
-            | Automaton.Parse_table.Resolved_shift -> "in favour of the shift"
-            | Automaton.Parse_table.Resolved_reduce ->
-              "in favour of the reduction"
-            | Automaton.Parse_table.Resolved_error ->
-              "as a syntax error (nonassociative)"))
-        resolved
-    end;
-    if show_naive then begin
-      let lalr = Automaton.Parse_table.lalr table in
-      let analysis = Automaton.Lalr.analysis lalr in
-      List.iter
-        (fun c ->
-          match Baselines.Naive_path.find lalr c with
-          | None -> ()
-          | Some naive ->
-            Fmt.pr "@.[naive baseline%s]@.%a@."
-              (if Baselines.Naive_path.misleading analysis naive then
-                 " - MISLEADING"
-               else "")
-              (Baselines.Naive_path.pp g) naive)
-        (Automaton.Parse_table.conflicts table)
     end;
     if Automaton.Parse_table.conflicts table = [] then 0 else 2
 
-open Cmdliner
+(* ------------------------------------------------------------------ *)
+(* The batch command. *)
 
-let path_arg =
-  Arg.(
-    required
-    & pos 0 (some string) None
-    & info [] ~docv:"GRAMMAR"
-        ~doc:"Grammar file in the yacc-like format ('-' for stdin).")
+let load_batch_entries paths use_corpus =
+  let file_entries =
+    List.map
+      (fun path ->
+        match load_grammar path with
+        | Ok g -> Ok (path, g)
+        (* Sys_error messages already name the path; parse errors don't. *)
+        | Error msg when String.starts_with ~prefix:path msg -> Error msg
+        | Error msg -> Error (Fmt.str "%s: %s" path msg))
+      paths
+  in
+  let corpus_entries =
+    if not use_corpus then []
+    else
+      List.map
+        (fun (e : Corpus.entry) -> Ok (e.Corpus.name, Corpus.grammar e))
+        (Corpus.all ())
+  in
+  let entries, errors =
+    List.partition_map
+      (function Ok e -> Left e | Error msg -> Right msg)
+      (file_entries @ corpus_entries)
+  in
+  if errors <> [] then Error (String.concat "\n" errors) else Ok entries
+
+let run_batch paths use_corpus timeout cumulative extended jobs json
+    cache_size repeat =
+  match load_batch_entries paths use_corpus with
+  | Error msg ->
+    Fmt.epr "error: %s@." msg;
+    1
+  | Ok [] ->
+    Fmt.epr "error: no grammars to analyze (pass files or --corpus)@.";
+    1
+  | Ok entries ->
+    let options = make_options timeout cumulative extended in
+    let service =
+      Cex_service.Scheduler.create ~options ~jobs ~cache_capacity:cache_size ()
+    in
+    let results = ref [] in
+    let stats = ref None in
+    for _ = 1 to max 1 repeat do
+      let rs, st = Cex_service.Scheduler.analyze_batch service entries in
+      results := rs;
+      stats := Some st
+    done;
+    let results = !results and stats = Option.get !stats in
+    if json then
+      Fmt.pr "%s@."
+        (Cex_service.Json.to_string
+           (Cex_service.Json_report.batch_to_json ~stats results))
+    else begin
+      List.iter
+        (fun (r : Cex_service.Scheduler.batch_result) ->
+          let report = r.Cex_service.Scheduler.report in
+          Fmt.pr "%-16s %3d conflicts: %3d unifying, %3d nonunifying, %3d \
+                  timed out  (%6.3fs)%s@."
+            r.Cex_service.Scheduler.name
+            (List.length report.Cex.Driver.conflict_reports)
+            (Cex.Driver.n_unifying report)
+            (Cex.Driver.n_nonunifying report)
+            (Cex.Driver.n_timeout report)
+            report.Cex.Driver.total_elapsed
+            (if r.Cex_service.Scheduler.from_cache then "  [cached]" else ""))
+        results;
+      Fmt.pr "@.%a@." Cex_service.Stats.pp_summary stats
+    end;
+    if
+      List.exists
+        (fun (r : Cex_service.Scheduler.batch_result) ->
+          r.Cex_service.Scheduler.report.Cex.Driver.conflict_reports <> [])
+        results
+    then 2
+    else 0
+
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
 
 let timeout_arg =
   Arg.(
@@ -99,7 +194,7 @@ let cumulative_arg =
     value & opt float 120.0
     & info [ "cumulative-timeout" ]
         ~doc:"Cumulative budget (seconds) after which only nonunifying \
-              counterexamples are constructed.")
+              counterexamples are constructed. Applies per grammar.")
 
 let extended_arg =
   Arg.(
@@ -107,39 +202,116 @@ let extended_arg =
     & info [ "extended-search" ]
         ~doc:"Lift the shortest-path restriction (slower, more complete).")
 
-let states_arg =
-  Arg.(value & flag & info [ "states" ] ~doc:"Dump the LR(0) automaton first.")
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Analyze conflicts on $(docv) worker domains in parallel.")
 
-let naive_arg =
+let json_arg =
   Arg.(
     value & flag
-    & info [ "naive" ]
-        ~doc:"Also print the lookahead-insensitive (PPG-style) baseline \
-              counterexamples for comparison.")
+    & info [ "json" ] ~doc:"Emit a machine-readable JSON report on stdout.")
 
-let lr1_arg =
+let path_arg =
   Arg.(
-    value & flag
-    & info [ "lr1" ]
-        ~doc:"Classify conflicts against the canonical LR(1) automaton: \
-              conflicts that disappear there are LALR merging artifacts.")
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"GRAMMAR"
+        ~doc:"Grammar file in the yacc-like format ('-' for stdin).")
 
-let resolved_arg =
-  Arg.(
-    value & flag
-    & info [ "resolved" ]
-        ~doc:"Also analyze precedence-resolved shift/reduce decisions and \
-              show the ambiguity each one silently settles.")
+let analyze_term =
+  let states_arg =
+    Arg.(value & flag & info [ "states" ] ~doc:"Dump the LR(0) automaton first.")
+  in
+  let naive_arg =
+    Arg.(
+      value & flag
+      & info [ "naive" ]
+          ~doc:"Also print the lookahead-insensitive (PPG-style) baseline \
+                counterexamples for comparison.")
+  in
+  let lr1_arg =
+    Arg.(
+      value & flag
+      & info [ "lr1" ]
+          ~doc:"Classify conflicts against the canonical LR(1) automaton: \
+                conflicts that disappear there are LALR merging artifacts.")
+  in
+  let resolved_arg =
+    Arg.(
+      value & flag
+      & info [ "resolved" ]
+          ~doc:"Also analyze precedence-resolved shift/reduce decisions and \
+                show the ambiguity each one silently settles.")
+  in
+  Term.(
+    const run $ path_arg $ timeout_arg $ cumulative_arg $ extended_arg
+    $ jobs_arg $ json_arg $ states_arg $ naive_arg $ lr1_arg $ resolved_arg)
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"analyze a single grammar (the default command)")
+    analyze_term
+
+let batch_cmd =
+  let paths_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"GRAMMAR"
+          ~doc:"Grammar files in the yacc-like format (zero or more).")
+  in
+  let corpus_arg =
+    Arg.(
+      value & flag
+      & info [ "corpus" ]
+          ~doc:"Also analyze every grammar of the built-in evaluation corpus \
+                (the paper's Table 1).")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "cache-size" ] ~docv:"N"
+          ~doc:"Capacity (entries) of the content-addressed automaton and \
+                report caches.")
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:"Run the whole batch $(docv) times against one service \
+                instance (demonstrates cache hits; stats are from the last \
+                run).")
+  in
+  let doc = "analyze many grammars through the batch service" in
+  Cmd.v
+    (Cmd.info "batch" ~doc)
+    Term.(
+      const run_batch $ paths_arg $ corpus_arg $ timeout_arg $ cumulative_arg
+      $ extended_arg $ jobs_arg $ json_arg $ cache_arg $ repeat_arg)
 
 let cmd =
   let doc =
     "find counterexamples for LALR parsing conflicts (Isradisaikul & Myers, \
      PLDI 2015)"
   in
-  Cmd.v
-    (Cmd.info "lrcex" ~version:"1.0.0" ~doc)
-    Term.(
-      const run $ path_arg $ timeout_arg $ cumulative_arg $ extended_arg
-      $ states_arg $ naive_arg $ lr1_arg $ resolved_arg)
+  Cmd.group
+    (Cmd.info "lrcex" ~version:"1.1.0" ~doc)
+    ~default:analyze_term [ analyze_cmd; batch_cmd ]
 
-let () = exit (Cmd.eval' cmd)
+(* Backward compatibility: `lrcex my.y` (no subcommand) still analyzes the
+   file, as the original single-command CLI did. cmdliner groups would
+   otherwise reject the unknown "command". *)
+let () =
+  let argv = Sys.argv in
+  let argv =
+    if
+      Array.length argv > 1
+      && (argv.(1) = "-" || String.length argv.(1) = 0 || argv.(1).[0] <> '-')
+      && argv.(1) <> "analyze" && argv.(1) <> "batch"
+    then
+      Array.concat
+        [ [| argv.(0); "analyze" |]; Array.sub argv 1 (Array.length argv - 1) ]
+    else argv
+  in
+  exit (Cmd.eval' ~argv cmd)

@@ -92,14 +92,23 @@ let analyze_conflict ?(options = default_options) ?(skip_search = false) lalr
     | Product_search.Exhausted stats ->
       fallback No_unifying_exists stats.Product_search.configs_explored)
 
+let clamp_to_budget options ~remaining =
+  if remaining <= 0.0 then (options, true)
+  else
+    ( { options with
+        per_conflict_timeout = Float.min options.per_conflict_timeout remaining },
+      false )
+
 let analyze_table ?(options = default_options) table =
   let started = Unix.gettimeofday () in
   let lalr = Parse_table.lalr table in
   let conflict_reports =
     List.map
       (fun conflict ->
-        let elapsed_so_far = Unix.gettimeofday () -. started in
-        let skip_search = elapsed_so_far > options.cumulative_timeout in
+        let remaining =
+          options.cumulative_timeout -. (Unix.gettimeofday () -. started)
+        in
+        let options, skip_search = clamp_to_budget options ~remaining in
         analyze_conflict ~options ~skip_search lalr conflict)
       (Parse_table.conflicts table)
   in

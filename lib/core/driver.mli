@@ -51,6 +51,14 @@ type report = {
 val analyze : ?options:options -> Cfg.Grammar.t -> report
 val analyze_table : ?options:options -> Parse_table.t -> report
 
+val clamp_to_budget : options -> remaining:float -> options * bool
+(** [clamp_to_budget options ~remaining] prepares the options for the next
+    conflict given [remaining] seconds of the cumulative budget: the
+    per-conflict timeout is clamped so a single slow conflict cannot
+    overshoot the cumulative budget, and the returned boolean is the
+    [skip_search] flag (true once the budget is exhausted). Shared by
+    {!analyze_table} and the batch scheduler. *)
+
 val analyze_conflict :
   ?options:options -> ?skip_search:bool -> Lalr.t -> Conflict.t ->
   conflict_report

@@ -22,11 +22,14 @@ type row = {
 }
 
 let run_row ?(options = Cex.Driver.default_options) ?(with_baseline = false)
-    ?(baseline_budget = 15.0) (entry : Corpus.entry) =
+    ?(baseline_budget = 15.0) ?(jobs = 1) (entry : Corpus.entry) =
   let g = Corpus.grammar entry in
   let table = Parse_table.build g in
   let lalr = Parse_table.lalr table in
-  let report = Cex.Driver.analyze_table ~options table in
+  let report =
+    if jobs <= 1 then Cex.Driver.analyze_table ~options table
+    else Cex_service.Scheduler.analyze_table ~options ~jobs table
+  in
   let analysis = Lalr.analysis lalr in
   let misleading_naive =
     List.length
@@ -63,6 +66,16 @@ let run_row ?(options = Cex.Driver.default_options) ?(with_baseline = false)
        else Some (report.Cex.Driver.total_elapsed /. float_of_int n_found));
     baseline_time;
     misleading_naive }
+
+let run_rows ?options ?with_baseline ?baseline_budget ?(jobs = 1) ?on_row
+    entries =
+  let row entry =
+    let r = run_row ?options ?with_baseline ?baseline_budget entry in
+    Option.iter (fun f -> f r) on_row;
+    r
+  in
+  if jobs <= 1 then List.map row entries
+  else Cex_service.Scheduler.map ~jobs row entries
 
 (* ------------------------------------------------------------------ *)
 

@@ -22,8 +22,24 @@ val run_row :
   ?options:Cex.Driver.options ->
   ?with_baseline:bool ->
   ?baseline_budget:float ->
+  ?jobs:int ->
   Corpus.entry ->
   row
+(** [jobs > 1] fans the entry's conflicts out to a
+    {!Cex_service.Scheduler} worker pool. *)
+
+val run_rows :
+  ?options:Cex.Driver.options ->
+  ?with_baseline:bool ->
+  ?baseline_budget:float ->
+  ?jobs:int ->
+  ?on_row:(row -> unit) ->
+  Corpus.entry list ->
+  row list
+(** Whole-table runner. [jobs > 1] computes rows in parallel (each row's
+    conflicts sequential, so per-row timings stay comparable); [on_row] is
+    called as each row completes — from worker domains when parallel, so it
+    must be thread-safe. Rows come back in input order. *)
 
 val pp_header : Format.formatter -> unit -> unit
 val pp_row : Format.formatter -> row -> unit

@@ -1,0 +1,47 @@
+(** Content-addressed memoization for the batch service.
+
+    Values (built parse tables, finished conflict reports) are keyed by a
+    digest of the grammar they were derived from, so two textually different
+    files describing the same grammar share one cache slot, and re-analysis
+    of an unchanged grammar is a pure lookup. Eviction is LRU over a fixed
+    capacity. All operations are thread-safe: a single mutex guards the
+    table, and the builder passed to {!find_or_build} runs under it, so each
+    digest is built at most once even when domains race. *)
+
+type 'a t
+
+type counters = {
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+val digest : Cfg.Grammar.t -> string
+(** Content address of a grammar: the MD5 (hex) of its canonical textual
+    form ({!Cfg.Export.to_spec}), which covers symbols, productions and
+    precedence declarations — everything the analysis depends on — while
+    ignoring formatting of the original source. *)
+
+val create : ?capacity:int -> unit -> 'a t
+(** Default capacity 128 entries. [capacity] is clamped to at least 1. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Lookup, refreshing the entry's recency and counting a hit or a miss. *)
+
+val find_or_build : 'a t -> string -> (unit -> 'a) -> 'a
+(** [find_or_build t key build] returns the cached value for [key], or runs
+    [build], stores its result (evicting the least recently used entry when
+    full), and returns it. *)
+
+val set : 'a t -> string -> 'a -> unit
+(** Insert or replace without touching the hit/miss counters (used when the
+    caller has already recorded the miss); eviction is still counted. *)
+
+val counters : 'a t -> counters
+val clear : 'a t -> unit
+(** Drop all entries; counters are preserved. *)
+
+val pp_counters : Format.formatter -> counters -> unit

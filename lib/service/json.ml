@@ -1,0 +1,86 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let float_repr f =
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6g" f
+
+let to_string ?(minify = false) t =
+  let b = Buffer.create 256 in
+  let nl indent =
+    if not minify then begin
+      Buffer.add_char b '\n';
+      Buffer.add_string b (String.make indent ' ')
+    end
+  in
+  let rec go indent = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (string_of_bool v)
+    | Int v -> Buffer.add_string b (string_of_int v)
+    | Float v -> Buffer.add_string b (float_repr v)
+    | String s -> escape_string b s
+    | List [] -> Buffer.add_string b "[]"
+    | List items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char b ',';
+          nl (indent + 2);
+          go (indent + 2) item)
+        items;
+      nl indent;
+      Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          nl (indent + 2);
+          escape_string b k;
+          Buffer.add_string b (if minify then ":" else ": ");
+          go (indent + 2) v)
+        fields;
+      nl indent;
+      Buffer.add_char b '}'
+  in
+  go 0 t;
+  Buffer.contents b
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let keys = function
+  | Obj fields -> List.map fst fields
+  | _ -> []
+
+let rec map_floats f = function
+  | Float v -> Float (f v)
+  | List items -> List (List.map (map_floats f) items)
+  | Obj fields -> Obj (List.map (fun (k, v) -> (k, map_floats f v)) fields)
+  | (Null | Bool _ | Int _ | String _) as t -> t

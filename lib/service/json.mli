@@ -1,0 +1,25 @@
+(** A minimal JSON tree and serializer, sufficient for the service's
+    machine-readable reports. No external dependency: the container image
+    pins the package set, so we do not assume yojson. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?minify:bool -> t -> string
+(** Render with two-space indentation ([minify:true] for one line).
+    Non-finite floats render as [null]; object key order is preserved. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj] nodes ([None] on other nodes). *)
+
+val keys : t -> string list
+(** Key list of an [Obj] node, in order ([[]] on other nodes). *)
+
+val map_floats : (float -> float) -> t -> t
+(** Rewrite every [Float] leaf (used by tests to zero volatile timings). *)

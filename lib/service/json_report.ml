@@ -1,0 +1,117 @@
+open Cfg
+open Automaton
+
+let outcome_string = function
+  | Cex.Driver.Found_unifying -> "found_unifying"
+  | Cex.Driver.No_unifying_exists -> "no_unifying_exists"
+  | Cex.Driver.Search_timeout -> "search_timeout"
+  | Cex.Driver.Skipped_search -> "skipped_search"
+
+let symbols g syms =
+  Json.List (List.map (fun s -> Json.String (Grammar.symbol_name g s)) syms)
+
+let item_string g item = Fmt.str "%a" (Item.pp g) item
+
+let counterexample_to_json g = function
+  | Cex.Driver.Unifying u ->
+    Json.Obj
+      [ ("type", Json.String "unifying");
+        ( "nonterminal",
+          Json.String
+            (Grammar.nonterminal_name g u.Cex.Product_search.nonterminal) );
+        ("form", symbols g u.Cex.Product_search.form);
+        ( "derivation_reduce",
+          Json.String (Derivation.to_string g u.Cex.Product_search.deriv1) );
+        ( "derivation_other",
+          Json.String (Derivation.to_string g u.Cex.Product_search.deriv2) ) ]
+  | Cex.Driver.Nonunifying nu ->
+    Json.Obj
+      [ ("type", Json.String "nonunifying");
+        ("prefix", symbols g nu.Cex.Nonunifying.prefix);
+        ( "reduce_continuation",
+          symbols g nu.Cex.Nonunifying.reduce_continuation );
+        ("other_continuation", symbols g nu.Cex.Nonunifying.other_continuation)
+      ]
+
+let conflict_to_json g (cr : Cex.Driver.conflict_report) =
+  let c = cr.Cex.Driver.conflict in
+  Json.Obj
+    [ ("state", Json.Int c.Conflict.state);
+      ("terminal", Json.String (Grammar.terminal_name g c.Conflict.terminal));
+      ( "kind",
+        Json.String
+          (if Conflict.is_shift_reduce c then "shift_reduce"
+           else "reduce_reduce") );
+      ("reduce_item", Json.String (item_string g (Conflict.reduce_item c)));
+      ("other_item", Json.String (item_string g (Conflict.other_item c)));
+      ("outcome", Json.String (outcome_string cr.Cex.Driver.outcome));
+      ("elapsed", Json.Float cr.Cex.Driver.elapsed);
+      ("configs_explored", Json.Int cr.Cex.Driver.configs_explored);
+      ( "counterexample",
+        match cr.Cex.Driver.counterexample with
+        | Some cex -> counterexample_to_json g cex
+        | None -> Json.Null ) ]
+
+let report_to_json ?name ?digest ?from_cache (r : Cex.Driver.report) =
+  let g = Cex.Driver.grammar r in
+  let opt label value rest =
+    match value with Some v -> (label, v) :: rest | None -> rest
+  in
+  Json.Obj
+    (opt "grammar" (Option.map (fun n -> Json.String n) name)
+       (opt "digest" (Option.map (fun d -> Json.String d) digest)
+          (opt "from_cache" (Option.map (fun b -> Json.Bool b) from_cache)
+             [ ( "summary",
+                 Json.Obj
+                   [ ( "conflicts",
+                       Json.Int (List.length r.Cex.Driver.conflict_reports) );
+                     ("unifying", Json.Int (Cex.Driver.n_unifying r));
+                     ("nonunifying", Json.Int (Cex.Driver.n_nonunifying r));
+                     ("timeouts", Json.Int (Cex.Driver.n_timeout r));
+                     ("total_elapsed", Json.Float r.Cex.Driver.total_elapsed)
+                   ] );
+               ( "conflicts",
+                 Json.List
+                   (List.map (conflict_to_json g) r.Cex.Driver.conflict_reports)
+               ) ])))
+
+let counters_to_json (c : Cache.counters) =
+  Json.Obj
+    [ ("hits", Json.Int c.Cache.hits);
+      ("misses", Json.Int c.Cache.misses);
+      ("evictions", Json.Int c.Cache.evictions) ]
+
+let stats_to_json (s : Stats.summary) =
+  Json.Obj
+    [ ("jobs", Json.Int s.Stats.jobs);
+      ("grammars", Json.Int s.Stats.grammars);
+      ("conflicts", Json.Int s.Stats.conflicts);
+      ("wall_seconds", Json.Float s.Stats.wall_seconds);
+      ("max_queue_depth", Json.Int s.Stats.max_queue_depth);
+      ( "stages",
+        Json.Obj
+          (List.map (fun (name, secs) -> (name, Json.Float secs)) s.Stats.stages)
+      );
+      ( "cache",
+        match s.Stats.table_cache, s.Stats.report_cache with
+        | None, None -> Json.Null
+        | tables, reports ->
+          Json.Obj
+            [ ( "tables",
+                Option.fold ~none:Json.Null ~some:counters_to_json tables );
+              ( "reports",
+                Option.fold ~none:Json.Null ~some:counters_to_json reports )
+            ] ) ]
+
+let batch_to_json ?stats results =
+  Json.Obj
+    [ ("schema_version", Json.Int 1);
+      ( "stats",
+        Option.fold ~none:Json.Null ~some:stats_to_json stats );
+      ( "grammars",
+        Json.List
+          (List.map
+             (fun (r : Scheduler.batch_result) ->
+               report_to_json ~name:r.Scheduler.name ~digest:r.Scheduler.digest
+                 ~from_cache:r.Scheduler.from_cache r.Scheduler.report)
+             results) ) ]

@@ -1,0 +1,40 @@
+(** JSON serialization of analysis results for machine consumption
+    ([lrcex --json], [lrcex batch --json]).
+
+    Schema sketch (stable keys, see the golden test):
+
+    {v
+    { "schema_version": 1,
+      "stats": { "jobs", "grammars", "conflicts", "wall_seconds",
+                 "max_queue_depth", "stages": {...},
+                 "cache": { "tables": {"hits","misses","evictions"},
+                            "reports": {...} } },
+      "grammars": [
+        { "grammar", "digest", "from_cache",
+          "summary": { "conflicts", "unifying", "nonunifying", "timeouts",
+                       "total_elapsed" },
+          "conflicts": [
+            { "state", "terminal", "kind", "reduce_item", "other_item",
+              "outcome", "elapsed", "configs_explored",
+              "counterexample": null
+                | { "type": "unifying", "nonterminal", "form",
+                    "derivation_reduce", "derivation_other" }
+                | { "type": "nonunifying", "prefix",
+                    "reduce_continuation", "other_continuation" } } ] } ] }
+    v} *)
+
+val outcome_string : Cex.Driver.outcome -> string
+(** ["found_unifying"], ["no_unifying_exists"], ["search_timeout"],
+    ["skipped_search"]. *)
+
+val conflict_to_json : Cfg.Grammar.t -> Cex.Driver.conflict_report -> Json.t
+
+val report_to_json :
+  ?name:string -> ?digest:string -> ?from_cache:bool -> Cex.Driver.report ->
+  Json.t
+
+val stats_to_json : Stats.summary -> Json.t
+
+val batch_to_json :
+  ?stats:Stats.summary -> Scheduler.batch_result list -> Json.t
+(** The full service response: [stats] plus one report object per grammar. *)

@@ -1,0 +1,239 @@
+open Automaton
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* ------------------------------------------------------------------ *)
+(* Worker pool: an atomic next-job index over a fixed array of jobs. *)
+
+let run_pool ?stats ~jobs n (f : int -> 'a) : 'a array =
+  if n = 0 then [||]
+  else begin
+    let jobs = max 1 (min jobs n) in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && Atomic.get failure = None then begin
+          (match stats with
+          | Some st -> Stats.note_queue_depth st (n - i - 1)
+          | None -> ());
+          (match f i with
+          | v -> results.(i) <- Some v
+          | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            Atomic.compare_and_set failure None (Some (e, bt)) |> ignore);
+          go ()
+        end
+      in
+      go ()
+    in
+    (match stats with Some st -> Stats.note_queue_depth st n | None -> ());
+    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers;
+    (match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map Option.get results
+  end
+
+let map ?(jobs = default_jobs ()) f xs =
+  let arr = Array.of_list xs in
+  Array.to_list (run_pool ~jobs (Array.length arr) (fun i -> f arr.(i)))
+
+(* ------------------------------------------------------------------ *)
+(* Cumulative budgets, metered as search time consumed (see .mli). *)
+
+type budget = {
+  lock : Mutex.t;
+  mutable remaining : float;
+}
+
+let budget_make seconds = { lock = Mutex.create (); remaining = seconds }
+
+let budget_remaining b =
+  Mutex.lock b.lock;
+  let r = b.remaining in
+  Mutex.unlock b.lock;
+  r
+
+let budget_consume b seconds =
+  Mutex.lock b.lock;
+  b.remaining <- b.remaining -. seconds;
+  Mutex.unlock b.lock
+
+let run_conflict ~options ~budget lalr conflict =
+  let options, skip_search =
+    Cex.Driver.clamp_to_budget options ~remaining:(budget_remaining budget)
+  in
+  let cr = Cex.Driver.analyze_conflict ~options ~skip_search lalr conflict in
+  budget_consume budget cr.Cex.Driver.elapsed;
+  cr
+
+let search_seconds crs =
+  Array.fold_left (fun t cr -> t +. cr.Cex.Driver.elapsed) 0.0 crs
+
+let analyze_table ?(options = Cex.Driver.default_options)
+    ?(jobs = default_jobs ()) ?stats table =
+  let started = Unix.gettimeofday () in
+  let lalr = Parse_table.lalr table in
+  let conflicts = Array.of_list (Parse_table.conflicts table) in
+  let budget = budget_make options.Cex.Driver.cumulative_timeout in
+  let crs =
+    run_pool ?stats ~jobs (Array.length conflicts) (fun i ->
+        run_conflict ~options ~budget lalr conflicts.(i))
+  in
+  (match stats with
+  | Some st ->
+    Stats.add_conflicts st (Array.length conflicts);
+    Stats.add_stage st "conflict_search" (search_seconds crs)
+  | None -> ());
+  { Cex.Driver.table;
+    conflict_reports = Array.to_list crs;
+    total_elapsed = Unix.gettimeofday () -. started }
+
+(* ------------------------------------------------------------------ *)
+(* The batch service. *)
+
+type t = {
+  options : Cex.Driver.options;
+  jobs : int;
+  tables : Parse_table.t Cache.t;
+  reports : Cex.Driver.report Cache.t;
+}
+
+let create ?(options = Cex.Driver.default_options) ?(jobs = default_jobs ())
+    ?(cache_capacity = 128) () =
+  { options;
+    jobs = max 1 jobs;
+    tables = Cache.create ~capacity:cache_capacity ();
+    reports = Cache.create ~capacity:cache_capacity () }
+
+let jobs t = t.jobs
+let table_cache_counters t = Cache.counters t.tables
+let report_cache_counters t = Cache.counters t.reports
+
+type batch_result = {
+  name : string;
+  digest : string;
+  report : Cex.Driver.report;
+  from_cache : bool;
+}
+
+(* Phase-1 classification of a batch entry. *)
+type fresh = {
+  table : Parse_table.t;
+  budget : budget;
+  table_seconds : float;
+  conflicts : Conflict.t array;
+  first_job : int;  (* offset into the flattened conflict-job array *)
+}
+
+type prepared =
+  | Cached of Cex.Driver.report
+  | Fresh of fresh
+  | Duplicate of int  (* index of the identical fresh entry in this batch *)
+
+let analyze_batch t entries =
+  let stats = Stats.create ~jobs:t.jobs in
+  Stats.add_grammars stats (List.length entries);
+  (* Phase 1 (sequential): digest, report-cache lookup, table build. *)
+  let seen_fresh : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let next_job = ref 0 in
+  let prepared =
+    List.mapi
+      (fun i (name, g) ->
+        let digest = Cache.digest g in
+        let prep =
+          match Cache.find t.reports digest with
+          | Some report -> Cached report
+          | None -> (
+            match Hashtbl.find_opt seen_fresh digest with
+            | Some j -> Duplicate j
+            | None ->
+              let t0 = Unix.gettimeofday () in
+              let table =
+                Cache.find_or_build t.tables digest (fun () ->
+                    Parse_table.build g)
+              in
+              let table_seconds = Unix.gettimeofday () -. t0 in
+              Stats.add_stage stats "table_build" table_seconds;
+              let conflicts = Array.of_list (Parse_table.conflicts table) in
+              Stats.add_conflicts stats (Array.length conflicts);
+              Hashtbl.add seen_fresh digest i;
+              let first_job = !next_job in
+              next_job := !next_job + Array.length conflicts;
+              Fresh
+                { table;
+                  budget =
+                    budget_make t.options.Cex.Driver.cumulative_timeout;
+                  table_seconds;
+                  conflicts;
+                  first_job })
+        in
+        (name, digest, prep))
+      entries
+  in
+  (* Phase 2: one conflict-level fan-out across every fresh grammar. *)
+  let job_table = Array.make !next_job None in
+  List.iter
+    (fun (_, _, prep) ->
+      match prep with
+      | Fresh f ->
+        Array.iteri
+          (fun k c -> job_table.(f.first_job + k) <- Some (f, c))
+          f.conflicts
+      | Cached _ | Duplicate _ -> ())
+    prepared;
+  let crs =
+    run_pool ~stats ~jobs:t.jobs (Array.length job_table) (fun i ->
+        let f, conflict = Option.get job_table.(i) in
+        let lalr = Parse_table.lalr f.table in
+        run_conflict ~options:t.options ~budget:f.budget lalr conflict)
+  in
+  Stats.add_stage stats "conflict_search" (search_seconds crs);
+  (* Phase 3 (sequential): reassemble reports in input order and fill the
+     report cache. *)
+  let finish_fresh f =
+    let conflict_reports =
+      Array.to_list
+        (Array.init (Array.length f.conflicts) (fun k ->
+             crs.(f.first_job + k)))
+    in
+    { Cex.Driver.table = f.table;
+      conflict_reports;
+      total_elapsed =
+        f.table_seconds
+        +. List.fold_left
+             (fun t cr -> t +. cr.Cex.Driver.elapsed)
+             0.0 conflict_reports }
+  in
+  let results =
+    List.map
+      (fun (name, digest, prep) ->
+        match prep with
+        | Cached report -> { name; digest; report; from_cache = true }
+        | Fresh f ->
+          let report = finish_fresh f in
+          Cache.set t.reports digest report;
+          { name; digest; report; from_cache = false }
+        | Duplicate j ->
+          let _, _, prep_j = List.nth prepared j in
+          let report =
+            match prep_j with
+            | Fresh f -> finish_fresh f
+            | Cached _ | Duplicate _ -> assert false
+          in
+          { name; digest; report; from_cache = true })
+      prepared
+  in
+  ( results,
+    Stats.finish stats ~table_cache:(Cache.counters t.tables)
+      ~report_cache:(Cache.counters t.reports) )
+
+let analyze t ?(name = "grammar") g =
+  match analyze_batch t [ (name, g) ] with
+  | [ r ], stats -> (r, stats)
+  | _ -> assert false

@@ -1,0 +1,77 @@
+(** Parallel conflict scheduler: the batch analysis service's execution
+    engine.
+
+    Conflict-driven counterexample search is embarrassingly parallel at the
+    conflict level: once the LALR automaton is built, each [(state, item,
+    terminal)] conflict search (paper sections 4 and 5) only reads the
+    immutable {!Automaton.Lalr.t}, so conflicts fan out safely across an
+    OCaml 5 [Domain] worker pool. Whole grammars fan out the same way in
+    batch mode, after a sequential table-build phase that goes through the
+    content-addressed {!Cache}.
+
+    Budget semantics: the cumulative timeout is a budget of {e search time
+    consumed}. Before each conflict the per-conflict timeout is clamped to
+    the budget still unspent ({!Cex.Driver.clamp_to_budget}); once the
+    budget is exhausted remaining conflicts skip the unifying search and
+    degrade gracefully to nonunifying counterexamples. With [jobs = 1] this
+    coincides with the sequential {!Cex.Driver.analyze_table}; with more
+    workers it bounds total work rather than wall time, keeping outcomes
+    independent of worker interleaving. *)
+
+open Automaton
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count], the whole machine. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map over a worker pool of [jobs] domains
+    (including the calling one). A worker's exception aborts the remaining
+    items and is re-raised in the caller after the pool drains. *)
+
+val analyze_table :
+  ?options:Cex.Driver.options ->
+  ?jobs:int ->
+  ?stats:Stats.t ->
+  Parse_table.t ->
+  Cex.Driver.report
+(** Drop-in parallel replacement for {!Cex.Driver.analyze_table}: conflict
+    reports come back in the table's conflict order regardless of worker
+    interleaving. *)
+
+(** {1 The batch service} *)
+
+type t
+(** A service instance: options, worker count, and the content-addressed
+    table and report caches. One instance is meant to live for many
+    {!analyze_batch} calls (that is what makes the caches pay). *)
+
+val create :
+  ?options:Cex.Driver.options ->
+  ?jobs:int ->
+  ?cache_capacity:int ->
+  unit ->
+  t
+
+val jobs : t -> int
+val table_cache_counters : t -> Cache.counters
+val report_cache_counters : t -> Cache.counters
+
+type batch_result = {
+  name : string;  (** caller-supplied label (file name, corpus entry) *)
+  digest : string;  (** content address, {!Cache.digest} *)
+  report : Cex.Driver.report;
+  from_cache : bool;
+      (** the report was served from the report cache (or shares the
+          analysis of an identical grammar earlier in the same batch) *)
+}
+
+val analyze_batch :
+  t -> (string * Cfg.Grammar.t) list -> batch_result list * Stats.summary
+(** Analyze many grammars in one run: sequential digest / cache-lookup /
+    table-build phase, then one global conflict-level fan-out across all
+    uncached grammars, each grammar metering its own cumulative budget.
+    Results are in input order. *)
+
+val analyze :
+  t -> ?name:string -> Cfg.Grammar.t -> batch_result * Stats.summary
+(** [analyze_batch] on a single grammar. *)

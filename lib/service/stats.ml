@@ -1,0 +1,75 @@
+type summary = {
+  jobs : int;
+  grammars : int;
+  conflicts : int;
+  wall_seconds : float;
+  max_queue_depth : int;
+  stages : (string * float) list;
+  table_cache : Cache.counters option;
+  report_cache : Cache.counters option;
+}
+
+type t = {
+  lock : Mutex.t;
+  started : float;
+  jobs : int;
+  mutable grammars : int;
+  mutable conflicts : int;
+  mutable max_queue_depth : int;
+  stages : (string, float ref) Hashtbl.t;
+}
+
+let create ~jobs =
+  { lock = Mutex.create ();
+    started = Unix.gettimeofday ();
+    jobs;
+    grammars = 0;
+    conflicts = 0;
+    max_queue_depth = 0;
+    stages = Hashtbl.create 8 }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let add_stage t name seconds =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.stages name with
+      | Some r -> r := !r +. seconds
+      | None -> Hashtbl.add t.stages name (ref seconds))
+
+let add_grammars t n = with_lock t (fun () -> t.grammars <- t.grammars + n)
+let add_conflicts t n = with_lock t (fun () -> t.conflicts <- t.conflicts + n)
+
+let note_queue_depth t depth =
+  with_lock t (fun () ->
+      if depth > t.max_queue_depth then t.max_queue_depth <- depth)
+
+let finish ?table_cache ?report_cache t =
+  with_lock t (fun () ->
+      { jobs = t.jobs;
+        grammars = t.grammars;
+        conflicts = t.conflicts;
+        wall_seconds = Unix.gettimeofday () -. t.started;
+        max_queue_depth = t.max_queue_depth;
+        stages =
+          Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.stages []
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+        table_cache;
+        report_cache })
+
+let pp_summary ppf (s : summary) =
+  Fmt.pf ppf
+    "@[<v>jobs: %d; grammars: %d; conflicts: %d; wall: %.3fs; max queue \
+     depth: %d"
+    s.jobs s.grammars s.conflicts s.wall_seconds s.max_queue_depth;
+  List.iter
+    (fun (name, secs) -> Fmt.pf ppf "@,stage %-16s %.3fs" name secs)
+    s.stages;
+  (match s.table_cache with
+  | Some c -> Fmt.pf ppf "@,table cache:  %a" Cache.pp_counters c
+  | None -> ());
+  (match s.report_cache with
+  | Some c -> Fmt.pf ppf "@,report cache: %a" Cache.pp_counters c
+  | None -> ());
+  Fmt.pf ppf "@]"

@@ -1,0 +1,35 @@
+(** Operational metrics for a service run: per-stage cumulative timings,
+    scheduler queue depth, and throughput counters. A collector is mutated
+    concurrently by the worker domains (mutex-guarded) and frozen into an
+    immutable {!summary} when the run completes. *)
+
+type t
+
+type summary = {
+  jobs : int;  (** worker domains used *)
+  grammars : int;
+  conflicts : int;
+  wall_seconds : float;  (** creation to {!finish} *)
+  max_queue_depth : int;  (** largest pending-job backlog observed *)
+  stages : (string * float) list;
+      (** cumulative seconds per pipeline stage, sorted by stage name
+          (e.g. ["table_build"], ["conflict_search"]) *)
+  table_cache : Cache.counters option;
+  report_cache : Cache.counters option;
+}
+
+val create : jobs:int -> t
+
+val add_stage : t -> string -> float -> unit
+(** Accumulate [seconds] into the named stage. *)
+
+val add_grammars : t -> int -> unit
+val add_conflicts : t -> int -> unit
+
+val note_queue_depth : t -> int -> unit
+(** Record an observed backlog; the summary keeps the maximum. *)
+
+val finish :
+  ?table_cache:Cache.counters -> ?report_cache:Cache.counters -> t -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

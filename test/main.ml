@@ -14,6 +14,8 @@ let () =
       Test_nonunifying.suite;
       Test_unifying.suite;
       Test_report.suite;
+      Test_driver.suite;
+      Test_service.suite;
       Test_baselines.suite;
       Test_corpus.suite;
       Test_export.suite ]

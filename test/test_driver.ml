@@ -1,0 +1,123 @@
+open Cfg
+
+(* The driver's outcome classification and budget accounting. *)
+
+let analyze ?options name =
+  Cex.Driver.analyze ?options (Corpus.grammar (Corpus.find name))
+
+let outcomes r =
+  List.map (fun cr -> cr.Cex.Driver.outcome) r.Cex.Driver.conflict_reports
+
+let has_counterexamples r =
+  List.for_all
+    (fun cr -> cr.Cex.Driver.counterexample <> None)
+    r.Cex.Driver.conflict_reports
+
+(* figure1: all three conflicts are ambiguities with fast unifying
+   counterexamples. *)
+let test_found_unifying () =
+  let r = analyze "figure1" in
+  Alcotest.(check (list bool))
+    "all unifying"
+    [ true; true; true ]
+    (List.map (fun o -> o = Cex.Driver.Found_unifying) (outcomes r));
+  Alcotest.(check int) "n_unifying" 3 (Cex.Driver.n_unifying r);
+  Alcotest.(check int) "n_timeout" 0 (Cex.Driver.n_timeout r)
+
+(* figure3 is LR(2): the conflict is not an ambiguity, the restricted search
+   exhausts, and a nonunifying counterexample is attached. *)
+let test_no_unifying_exists () =
+  let r = analyze "figure3" in
+  Alcotest.(check (list bool))
+    "exhausted" [ true ]
+    (List.map (fun o -> o = Cex.Driver.No_unifying_exists) (outcomes r));
+  Alcotest.(check int) "n_nonunifying" 1 (Cex.Driver.n_nonunifying r);
+  Alcotest.(check bool) "nonunifying attached" true (has_counterexamples r)
+
+(* A zero configuration budget forces the unifying search to give up
+   immediately (deterministically, unlike a zero time limit); the driver
+   must degrade to nonunifying counterexamples. *)
+let test_search_timeout () =
+  let options =
+    { Cex.Driver.default_options with Cex.Driver.max_configs = 0 }
+  in
+  let r = analyze ~options "figure1" in
+  Alcotest.(check (list bool))
+    "all timed out"
+    [ true; true; true ]
+    (List.map (fun o -> o = Cex.Driver.Search_timeout) (outcomes r));
+  Alcotest.(check int) "counted as timeouts" 3 (Cex.Driver.n_timeout r);
+  Alcotest.(check bool) "nonunifying fallback attached" true
+    (has_counterexamples r)
+
+(* An exhausted cumulative budget skips the unifying search outright. *)
+let test_skipped_search () =
+  let options =
+    { Cex.Driver.default_options with Cex.Driver.cumulative_timeout = 0.0 }
+  in
+  let r = analyze ~options "figure1" in
+  Alcotest.(check (list bool))
+    "all skipped"
+    [ true; true; true ]
+    (List.map (fun o -> o = Cex.Driver.Skipped_search) (outcomes r));
+  Alcotest.(check int) "counted as timeouts" 3 (Cex.Driver.n_timeout r);
+  Alcotest.(check bool) "nonunifying fallback attached" true
+    (has_counterexamples r)
+
+(* The cumulative-budget clamp: C.4's single conflict times out even at the
+   paper's 5 s limit, so without clamping analyze_table would spend the full
+   per-conflict budget and overshoot a small cumulative budget by seconds.
+   With the clamp the conflict gets only the remaining cumulative budget. *)
+let test_cumulative_clamp () =
+  let options =
+    { Cex.Driver.default_options with
+      Cex.Driver.per_conflict_timeout = 30.0;
+      cumulative_timeout = 0.3 }
+  in
+  let g = Corpus.grammar (Corpus.find "C.4") in
+  let started = Unix.gettimeofday () in
+  let r = Cex.Driver.analyze ~options g in
+  let wall = Unix.gettimeofday () -. started in
+  Alcotest.(check int) "one conflict" 1
+    (List.length r.Cex.Driver.conflict_reports);
+  Alcotest.(check (list bool))
+    "timed out at the clamped limit" [ true ]
+    (List.map (fun o -> o = Cex.Driver.Search_timeout) (outcomes r));
+  (* Generous bound: table build + clamped search + nonunifying fallback.
+     Without the clamp this takes > 30 s. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "no overshoot (wall %.2fs)" wall)
+    true (wall < 10.0)
+
+let test_clamp_to_budget () =
+  let options =
+    { Cex.Driver.default_options with Cex.Driver.per_conflict_timeout = 5.0 }
+  in
+  let clamped, skip = Cex.Driver.clamp_to_budget options ~remaining:1.5 in
+  Alcotest.(check bool) "not skipped" false skip;
+  Alcotest.(check (float 1e-9)) "clamped down" 1.5
+    clamped.Cex.Driver.per_conflict_timeout;
+  let clamped, skip = Cex.Driver.clamp_to_budget options ~remaining:60.0 in
+  Alcotest.(check bool) "not skipped" false skip;
+  Alcotest.(check (float 1e-9)) "unchanged" 5.0
+    clamped.Cex.Driver.per_conflict_timeout;
+  let _, skip = Cex.Driver.clamp_to_budget options ~remaining:0.0 in
+  Alcotest.(check bool) "skipped once exhausted" true skip
+
+(* Grammar with no conflicts: an empty, instant report. *)
+let test_no_conflicts () =
+  let g = Spec_parser.grammar_of_string_exn "s : A s B | C ;" in
+  let r = Cex.Driver.analyze g in
+  Alcotest.(check int) "no conflicts" 0
+    (List.length r.Cex.Driver.conflict_reports);
+  Alcotest.(check int) "no timeouts" 0 (Cex.Driver.n_timeout r)
+
+let suite =
+  ( "driver",
+    [ Alcotest.test_case "found-unifying" `Quick test_found_unifying;
+      Alcotest.test_case "no-unifying-exists" `Quick test_no_unifying_exists;
+      Alcotest.test_case "search-timeout" `Quick test_search_timeout;
+      Alcotest.test_case "skipped-search" `Quick test_skipped_search;
+      Alcotest.test_case "cumulative-clamp" `Slow test_cumulative_clamp;
+      Alcotest.test_case "clamp-to-budget" `Quick test_clamp_to_budget;
+      Alcotest.test_case "no-conflicts" `Quick test_no_conflicts ] )

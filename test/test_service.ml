@@ -1,0 +1,255 @@
+open Cfg
+
+(* The batch analysis service: scheduler determinism, content-addressed
+   cache, and JSON reporting. *)
+
+let dangling_else =
+  {|
+%start stmt
+stmt : IF expr THEN stmt
+     | IF expr THEN stmt ELSE stmt
+     | OTHER
+     ;
+expr : ID ;
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Cache. *)
+
+let check_counters label (expected : Cex_service.Cache.counters) actual =
+  Alcotest.(check (triple int int int))
+    label
+    ( expected.Cex_service.Cache.hits,
+      expected.Cex_service.Cache.misses,
+      expected.Cex_service.Cache.evictions )
+    ( actual.Cex_service.Cache.hits,
+      actual.Cex_service.Cache.misses,
+      actual.Cex_service.Cache.evictions )
+
+let test_cache_counters () =
+  let open Cex_service in
+  let c : int Cache.t = Cache.create ~capacity:2 () in
+  Alcotest.(check (option int)) "initial miss" None (Cache.find c "a");
+  Alcotest.(check int) "built" 1 (Cache.find_or_build c "a" (fun () -> 1));
+  Alcotest.(check int) "memoized, builder not rerun" 1
+    (Cache.find_or_build c "a" (fun () -> 99));
+  Alcotest.(check int) "second entry" 2
+    (Cache.find_or_build c "b" (fun () -> 2));
+  (* Capacity 2: inserting a third entry evicts the least recently used
+     ("a": its last touch predates "b"'s insertion). *)
+  Alcotest.(check int) "third entry evicts" 3
+    (Cache.find_or_build c "c" (fun () -> 3));
+  Alcotest.(check (option int)) "victim gone" None (Cache.find c "a");
+  Alcotest.(check (option int)) "survivor intact" (Some 2) (Cache.find c "b");
+  Alcotest.(check int) "length at capacity" 2 (Cache.length c);
+  check_counters "hit/miss/eviction counters"
+    { Cex_service.Cache.hits = 2; misses = 5; evictions = 1 }
+    (Cache.counters c)
+
+let test_cache_digest () =
+  let g1 = Spec_parser.grammar_of_string_exn dangling_else in
+  (* Same grammar, different formatting: same content address. *)
+  let reformatted =
+    {|%start stmt
+stmt : IF expr THEN stmt | IF expr THEN stmt ELSE stmt | OTHER ;
+expr : ID ;|}
+  in
+  let g2 = Spec_parser.grammar_of_string_exn reformatted in
+  let g3 = Spec_parser.grammar_of_string_exn Corpus.Paper_grammars.figure1 in
+  Alcotest.(check string)
+    "digest ignores formatting" (Cex_service.Cache.digest g1)
+    (Cex_service.Cache.digest g2);
+  Alcotest.(check bool)
+    "different grammars, different digests" false
+    (Cex_service.Cache.digest g1 = Cex_service.Cache.digest g3)
+
+(* Repeated analysis of the same grammar digest is served from the report
+   cache (the acceptance criterion on cache counters). *)
+let test_cache_hit_on_reanalysis () =
+  let open Cex_service in
+  let g = Spec_parser.grammar_of_string_exn dangling_else in
+  let service = Scheduler.create ~jobs:1 () in
+  let r1, _ = Scheduler.analyze service ~name:"first" g in
+  let r2, _ = Scheduler.analyze service ~name:"second" g in
+  Alcotest.(check bool) "first analysis is fresh" false
+    r1.Scheduler.from_cache;
+  Alcotest.(check bool) "re-analysis served from cache" true
+    r2.Scheduler.from_cache;
+  let counters = Scheduler.report_cache_counters service in
+  Alcotest.(check int) "report cache hit recorded" 1
+    counters.Cache.hits;
+  Alcotest.(check bool) "same report value" true
+    (r1.Scheduler.report == r2.Scheduler.report);
+  check_counters "table cache: one build, no rebuild"
+    { Cache.hits = 0; misses = 1; evictions = 0 }
+    (Scheduler.table_cache_counters service)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler determinism: conflict-level parallelism must not change any
+   outcome or counterexample, nor the report order. *)
+
+let normalized_batch ~jobs entries =
+  let service = Cex_service.Scheduler.create ~jobs () in
+  let results, _stats = Cex_service.Scheduler.analyze_batch service entries in
+  Cex_service.Json.to_string
+    (Cex_service.Json.map_floats
+       (fun _ -> 0.0)
+       (Cex_service.Json_report.batch_to_json results))
+
+let test_determinism () =
+  let entries =
+    List.map
+      (fun name -> (name, Corpus.grammar (Corpus.find name)))
+      [ "figure1"; "SQL.1"; "SQL.2"; "SQL.3"; "SQL.4"; "SQL.5" ]
+  in
+  let sequential = normalized_batch ~jobs:1 entries in
+  let parallel = normalized_batch ~jobs:4 entries in
+  Alcotest.(check string)
+    "jobs=1 and jobs=4 agree on every outcome and counterexample" sequential
+    parallel
+
+let test_scheduler_matches_driver () =
+  let g = Spec_parser.grammar_of_string_exn Corpus.Paper_grammars.figure1 in
+  let table = Automaton.Parse_table.build g in
+  let normalize r =
+    Cex_service.Json.to_string
+      (Cex_service.Json.map_floats
+         (fun _ -> 0.0)
+         (Cex_service.Json_report.report_to_json r))
+  in
+  Alcotest.(check string)
+    "parallel analyze_table equals the sequential driver"
+    (normalize (Cex.Driver.analyze_table table))
+    (normalize (Cex_service.Scheduler.analyze_table ~jobs:4 table))
+
+let test_map_order_and_errors () =
+  let doubled = Cex_service.Scheduler.map ~jobs:3 (fun x -> 2 * x)
+      [ 5; 1; 4; 1; 3 ] in
+  Alcotest.(check (list int)) "order preserved" [ 10; 2; 8; 2; 6 ] doubled;
+  Alcotest.check_raises "worker exceptions surface in the caller"
+    (Failure "boom")
+    (fun () ->
+      ignore
+        (Cex_service.Scheduler.map ~jobs:2
+           (fun x -> if x = 2 then failwith "boom" else x)
+           [ 1; 2; 3 ]))
+
+(* ------------------------------------------------------------------ *)
+(* JSON. *)
+
+let test_json_emitter () =
+  let open Cex_service in
+  let t =
+    Json.Obj
+      [ ("s", Json.String "a\"b\\c\nd");
+        ("n", Json.Int 3);
+        ("f", Json.Float 0.25);
+        ("bad", Json.Float Float.nan);
+        ("l", Json.List [ Json.Bool true; Json.Null ]);
+        ("empty", Json.Obj []) ]
+  in
+  Alcotest.(check string) "minified"
+    {|{"s":"a\"b\\c\nd","n":3,"f":0.25,"bad":null,"l":[true,null],"empty":{}}|}
+    (Json.to_string ~minify:true t)
+
+let golden =
+  {|{
+  "schema_version": 1,
+  "stats": {
+    "jobs": 1,
+    "grammars": 1,
+    "conflicts": 1,
+    "wall_seconds": 0.0,
+    "max_queue_depth": 1,
+    "stages": {
+      "conflict_search": 0.0,
+      "table_build": 0.0
+    },
+    "cache": {
+      "tables": {
+        "hits": 0,
+        "misses": 1,
+        "evictions": 0
+      },
+      "reports": {
+        "hits": 0,
+        "misses": 1,
+        "evictions": 0
+      }
+    }
+  },
+  "grammars": [
+    {
+      "grammar": "dangling-else",
+      "digest": "2a1de4b63d8cced128cb9455f89ded12",
+      "from_cache": false,
+      "summary": {
+        "conflicts": 1,
+        "unifying": 1,
+        "nonunifying": 0,
+        "timeouts": 0,
+        "total_elapsed": 0.0
+      },
+      "conflicts": [
+        {
+          "state": 7,
+          "terminal": "ELSE",
+          "kind": "shift_reduce",
+          "reduce_item": "stmt ::= IF expr THEN stmt •",
+          "other_item": "stmt ::= IF expr THEN stmt • ELSE stmt",
+          "outcome": "found_unifying",
+          "elapsed": 0.0,
+          "configs_explored": 135,
+          "counterexample": {
+            "type": "unifying",
+            "nonterminal": "stmt",
+            "form": [
+              "IF",
+              "expr",
+              "THEN",
+              "IF",
+              "expr",
+              "THEN",
+              "stmt",
+              "ELSE",
+              "stmt"
+            ],
+            "derivation_reduce": "stmt ::= [IF expr THEN stmt ::= [IF expr THEN stmt •] ELSE stmt]",
+            "derivation_other": "stmt ::= [IF expr THEN stmt ::= [IF expr THEN stmt • ELSE stmt]]"
+          }
+        }
+      ]
+    }
+  ]
+}|}
+
+(* The JSON report schema for the dangling-else grammar, with volatile
+   timings zeroed. Guards the stability of every key the service exposes:
+   conflict kind, outcome, elapsed, configs_explored, cache stats, ... *)
+let test_json_golden () =
+  let g = Spec_parser.grammar_of_string_exn dangling_else in
+  let service = Cex_service.Scheduler.create ~jobs:1 () in
+  let results, stats =
+    Cex_service.Scheduler.analyze_batch service [ ("dangling-else", g) ]
+  in
+  let json =
+    Cex_service.Json.to_string
+      (Cex_service.Json.map_floats
+         (fun _ -> 0.0)
+         (Cex_service.Json_report.batch_to_json ~stats results))
+  in
+  Alcotest.(check string) "golden JSON report" golden json
+
+let suite =
+  ( "service",
+    [ Alcotest.test_case "cache-counters" `Quick test_cache_counters;
+      Alcotest.test_case "cache-digest" `Quick test_cache_digest;
+      Alcotest.test_case "cache-hit-on-reanalysis" `Quick
+        test_cache_hit_on_reanalysis;
+      Alcotest.test_case "determinism-jobs-1-vs-4" `Slow test_determinism;
+      Alcotest.test_case "scheduler-matches-driver" `Quick
+        test_scheduler_matches_driver;
+      Alcotest.test_case "map-order-and-errors" `Quick
+        test_map_order_and_errors;
+      Alcotest.test_case "json-emitter" `Quick test_json_emitter;
+      Alcotest.test_case "json-golden" `Quick test_json_golden ] )

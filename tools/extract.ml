@@ -1,0 +1,9 @@
+(* Dump a corpus entry's grammar source to stdout, for feeding the corpus
+   into `lrcex batch` as ordinary files:
+     dune exec tools/extract.exe stackovf10 > stackovf10.y *)
+let () =
+  match Sys.argv with
+  | [| _; name |] -> print_string (Corpus.find name).Corpus.source
+  | _ ->
+    prerr_endline "usage: extract CORPUS-ENTRY";
+    exit 1

@@ -1,0 +1,19 @@
+let dangling_else =
+  {|
+%start stmt
+stmt : IF expr THEN stmt
+     | IF expr THEN stmt ELSE stmt
+     | OTHER
+     ;
+expr : ID ;
+|}
+let () =
+  let g = Cfg.Spec_parser.grammar_of_string_exn dangling_else in
+  let service = Cex_service.Scheduler.create ~jobs:1 () in
+  let results, stats =
+    Cex_service.Scheduler.analyze_batch service [ ("dangling-else", g) ]
+  in
+  print_string
+    (Cex_service.Json.to_string
+       (Cex_service.Json.map_floats (fun _ -> 0.0)
+          (Cex_service.Json_report.batch_to_json ~stats results)))
