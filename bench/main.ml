@@ -286,7 +286,145 @@ let scheduler_bench () =
     (Cex_service.Scheduler.report_cache_counters service);
   Fmt.pr "@."
 
+(* ------------------------------------------------------------------ *)
+(* --json mode: a machine-readable per-stage timing harness for trend
+   tracking and the CI regression gate. The workload is the full corpus under
+   a fixed configuration budget (never a wall-clock limit), so the amount of
+   work per stage is deterministic and medians are comparable across runs and
+   machines of similar speed. *)
+
+let median samples =
+  match List.sort Float.compare samples with
+  | [] -> 0.0
+  | l ->
+    let a = Array.of_list l in
+    let n = Array.length a in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+
+let stage_json samples =
+  let total = List.fold_left ( +. ) 0.0 samples in
+  Cex_service.Json.Obj
+    [ ("median_ms", Cex_service.Json.Float (median samples));
+      ("total_ms", Cex_service.Json.Float total);
+      ("samples", Cex_service.Json.Int (List.length samples)) ]
+
+let stage_median doc stage =
+  Option.bind (Cex_service.Json.member "stages" doc) (fun stages ->
+      Option.bind (Cex_service.Json.member stage stages) (fun s ->
+          match Cex_service.Json.member "median_ms" s with
+          | Some (Cex_service.Json.Float f) -> Some f
+          | Some (Cex_service.Json.Int i) -> Some (float_of_int i)
+          | _ -> None))
+
+let stage_names = [ "table_build"; "path_search"; "product_search" ]
+
+(* Compare against a committed baseline (BENCH_2.json). Returns false iff
+   some stage's median regressed by more than [threshold]x. *)
+let compare_baseline ~threshold current file =
+  match
+    Cex_service.Json.of_string_opt
+      (In_channel.with_open_text file In_channel.input_all)
+  with
+  | None ->
+    Fmt.epr "warning: cannot parse baseline %s; skipping comparison@." file;
+    true
+  | Some base ->
+    Fmt.pr "=== Regression check vs %s (threshold %.1fx) ===@." file threshold;
+    List.fold_left
+      (fun ok stage ->
+        match stage_median base stage, stage_median current stage with
+        | Some b, Some c when b > 0.0 ->
+          let ratio = c /. b in
+          let flag =
+            if ratio > threshold then "  REGRESSION"
+            else if ratio < 1.0 /. threshold then "  improved"
+            else ""
+          in
+          Fmt.pr "  %-16s baseline %10.3f ms   current %10.3f ms   %5.2fx%s@."
+            stage b c ratio flag;
+          ok && ratio <= threshold
+        | _, _ ->
+          Fmt.pr "  %-16s (missing in baseline or current; skipped)@." stage;
+          ok)
+      true stage_names
+
+let json_bench ~out ~baseline =
+  let max_configs = 10_000 in
+  let table_build = ref [] in
+  let path_search = ref [] in
+  let product_search = ref [] in
+  List.iter
+    (fun entry ->
+      let g = Corpus.grammar entry in
+      let table, ms = time_ms (fun () -> Parse_table.build g) in
+      table_build := ms :: !table_build;
+      let lalr = Parse_table.lalr table in
+      List.iter
+        (fun c ->
+          let path, ms =
+            time_ms (fun () ->
+                Cex.Lookahead_path.find lalr
+                  ~conflict_state:c.Conflict.state
+                  ~reduce_item:(Conflict.reduce_item c)
+                  ~terminal:c.Conflict.terminal)
+          in
+          path_search := ms :: !path_search;
+          match path with
+          | None -> ()
+          | Some path ->
+            let (_ : Cex.Product_search.outcome), ms =
+              time_ms (fun () ->
+                  Cex.Product_search.search ~time_limit:1e12 ~max_configs
+                    lalr ~conflict:c
+                    ~path_states:(Cex.Lookahead_path.states_on_path path))
+            in
+            product_search := ms :: !product_search)
+        (Parse_table.conflicts table))
+    (Corpus.all ());
+  let doc =
+    Cex_service.Json.Obj
+      [ ("schema", Cex_service.Json.Int 1);
+        ( "workload",
+          Cex_service.Json.Obj
+            [ ("corpus", Cex_service.Json.String "all");
+              ("max_configs", Cex_service.Json.Int max_configs) ] );
+        ( "stages",
+          Cex_service.Json.Obj
+            [ ("table_build", stage_json !table_build);
+              ("path_search", stage_json !path_search);
+              ("product_search", stage_json !product_search) ] ) ]
+  in
+  Out_channel.with_open_text out (fun oc ->
+      output_string oc (Cex_service.Json.to_string doc);
+      output_char oc '\n');
+  Fmt.pr "per-stage medians (ms): table_build %.3f, path_search %.3f, \
+          product_search %.3f@."
+    (median !table_build) (median !path_search) (median !product_search);
+  Fmt.pr "wrote %s@." out;
+  match baseline with
+  | None -> true
+  | Some file -> compare_baseline ~threshold:2.0 doc file
+
+let find_flag_value name =
+  let argv = Sys.argv in
+  let result = ref None in
+  Array.iteri
+    (fun i a ->
+      if a = name && i + 1 < Array.length argv then result := Some argv.(i + 1))
+    argv;
+  !result
+
 let () =
+  match find_flag_value "--json" with
+  | Some out ->
+    let ok = json_bench ~out ~baseline:(find_flag_value "--baseline") in
+    exit (if ok then 0 else 1)
+  | None ->
   Fmt.pr "lrcex benchmark harness%s@.@." (if quick then " (quick mode)" else "");
   microbenchmarks ();
   scheduler_bench ();

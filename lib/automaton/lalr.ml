@@ -95,6 +95,11 @@ let lookahead_item a s item =
   | Some idx -> a.lookaheads.(s).(idx)
   | None -> invalid_arg "Lalr.lookahead_item: item not in state"
 
+let lookahead_of_id a s id =
+  let l = Lr0.local_index_of_id a.lr0 s id in
+  if l < 0 then invalid_arg "Lalr.lookahead_of_id: item not in state"
+  else a.lookaheads.(s).(l)
+
 let pp_state a ppf s =
   let g = grammar a in
   let st = Lr0.state a.lr0 s in

@@ -24,4 +24,9 @@ val lookahead : t -> int -> int -> Bitset.t
 val lookahead_item : t -> int -> Item.t -> Bitset.t
 (** @raise Invalid_argument if the item is not in the state. *)
 
+val lookahead_of_id : t -> int -> int -> Bitset.t
+(** [lookahead_of_id a state id]: like {!lookahead_item}, keyed by the
+    interned item id ({!Lr0.item_id}); constant time.
+    @raise Invalid_argument if the item is not in the state. *)
+
 val pp_state : t -> Format.formatter -> int -> unit

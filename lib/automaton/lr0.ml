@@ -1,23 +1,54 @@
 open Cfg
 
+(* Items are interned into a dense id space at build time: the id of
+   [(prod, dot)] is [offsets.(prod) + dot], where [offsets] is the prefix sum
+   of [rhs_length + 1] over productions. Ids are monotone in the
+   [(prod, dot)] lexicographic order, so a state's [items] array (sorted by
+   [Item.compare]) is also sorted by id. Every hot structure of the searches
+   keys on these ids instead of structural item records. *)
+
 type state = {
   id : int;
   items : Item.t array;
+  item_ids : int array;  (* global id per item, ascending *)
+  local_of_id : int array;  (* global id -> index into [items]; -1 = absent *)
+  offsets : int array;  (* shared interning table, one cell per production *)
   accessing : Symbol.t option;
   goto_terminal : int array;
   goto_nonterminal : int array;
+  with_next_terminal : Item.t list array;  (* items by next terminal *)
+  with_next_nonterminal : Item.t list array;
   mutable predecessors : int list;
 }
 
 type t = {
   grammar : Grammar.t;
   states : state array;
+  offsets : int array;
+  n_item_ids : int;
+  id_item : Item.t array;  (* id -> item *)
+  id_next : Symbol.t option array;  (* id -> symbol after the dot *)
+  id_lhs : int array;  (* id -> production's left-hand side *)
+  id_rhs_len : int array;  (* id -> production's right-hand-side length *)
 }
 
 let grammar a = a.grammar
 let n_states a = Array.length a.states
 let state a i = a.states.(i)
 let start_state = 0
+
+let n_item_ids a = a.n_item_ids
+let item_id a (item : Item.t) = a.offsets.(item.Item.prod) + item.Item.dot
+let item_of_id a id = a.id_item.(id)
+let next_symbol_of_id a id = a.id_next.(id)
+let lhs_of_id a id = a.id_lhs.(id)
+let rhs_length_of_id a id = a.id_rhs_len.(id)
+
+let local_index_of_id a s id =
+  let l = a.states.(s).local_of_id.(id) in
+  l
+
+let has_item_id a s id = a.states.(s).local_of_id.(id) >= 0
 
 let transition a s sym =
   let st = a.states.(s) in
@@ -28,27 +59,20 @@ let transition a s sym =
   in
   if target < 0 then None else Some target
 
-let item_index st item =
-  let rec search lo hi =
-    if lo >= hi then None
-    else
-      let mid = (lo + hi) / 2 in
-      let c = Item.compare item st.items.(mid) in
-      if c = 0 then Some mid
-      else if c < 0 then search lo mid
-      else search (mid + 1) hi
-  in
-  search 0 (Array.length st.items)
+let item_index (st : state) (item : Item.t) =
+  let id = st.offsets.(item.Item.prod) + item.Item.dot in
+  if id < 0 || id >= Array.length st.local_of_id then None
+  else
+    let l = st.local_of_id.(id) in
+    if l < 0 then None else Some l
 
 let has_item st item = item_index st item <> None
 
 let items_with_next a s sym =
   let st = a.states.(s) in
-  Array.to_list st.items
-  |> List.filter (fun item ->
-         match Item.next_symbol a.grammar item with
-         | Some sym' -> Symbol.equal sym sym'
-         | None -> false)
+  match sym with
+  | Symbol.Terminal t -> st.with_next_terminal.(t)
+  | Symbol.Nonterminal nt -> st.with_next_nonterminal.(nt)
 
 let reduce_items a s =
   let st = a.states.(s) in
@@ -75,9 +99,39 @@ let closure g kernel =
   Array.sort Item.compare items;
   items
 
+(* The interning table: one dense id per (production, dot) pair. *)
+let build_offsets g =
+  let n_p = Grammar.n_productions g in
+  let offsets = Array.make n_p 0 in
+  let total = ref 0 in
+  for p = 0 to n_p - 1 do
+    offsets.(p) <- !total;
+    total := !total + Array.length (Grammar.production g p).Grammar.rhs + 1
+  done;
+  offsets, !total
+
 let build g =
   let n_t = Grammar.n_terminals g in
   let n_nt = Grammar.n_nonterminals g in
+  let offsets, n_item_ids = build_offsets g in
+  let id_item =
+    Array.init n_item_ids (fun _ -> Item.start)
+  in
+  let id_next = Array.make n_item_ids None in
+  let id_lhs = Array.make n_item_ids 0 in
+  let id_rhs_len = Array.make n_item_ids 0 in
+  for p = 0 to Grammar.n_productions g - 1 do
+    let prod = Grammar.production g p in
+    let len = Array.length prod.Grammar.rhs in
+    for dot = 0 to len do
+      let item = Item.make p dot in
+      let id = offsets.(p) + dot in
+      id_item.(id) <- item;
+      id_next.(id) <- (if dot < len then Some prod.Grammar.rhs.(dot) else None);
+      id_lhs.(id) <- prod.Grammar.lhs;
+      id_rhs_len.(id) <- len
+    done
+  done;
   let states : state array ref = ref [||] in
   let count = ref 0 in
   let by_kernel : (Item.t list, int) Hashtbl.t = Hashtbl.create 64 in
@@ -90,13 +144,36 @@ let build g =
       let id = !count in
       incr count;
       Hashtbl.add by_kernel kernel id;
+      let items = closure g kernel in
+      let n_items = Array.length items in
+      let item_ids =
+        Array.map (fun (i : Item.t) -> offsets.(i.Item.prod) + i.Item.dot) items
+      in
+      let local_of_id = Array.make n_item_ids (-1) in
+      Array.iteri (fun l gid -> local_of_id.(gid) <- l) item_ids;
+      let with_next_terminal = Array.make n_t [] in
+      let with_next_nonterminal = Array.make n_nt [] in
+      (* Consed in reverse so each bucket lists items in [items] order, the
+         order the old linear filter produced. *)
+      for l = n_items - 1 downto 0 do
+        match id_next.(item_ids.(l)) with
+        | None -> ()
+        | Some (Symbol.Terminal t) ->
+          with_next_terminal.(t) <- items.(l) :: with_next_terminal.(t)
+        | Some (Symbol.Nonterminal nt) ->
+          with_next_nonterminal.(nt) <- items.(l) :: with_next_nonterminal.(nt)
+      done;
       let st =
         { id;
-          items = closure g kernel;
-
+          items;
+          item_ids;
+          local_of_id;
+          offsets;
           accessing;
           goto_terminal = Array.make n_t (-1);
           goto_nonterminal = Array.make n_nt (-1);
+          with_next_terminal;
+          with_next_nonterminal;
           predecessors = [] }
       in
       if Array.length !states <= id then begin
@@ -141,7 +218,14 @@ let build g =
           tgt.predecessors <- id :: tgt.predecessors)
       (List.rev !order)
   done;
-  { grammar = g; states = Array.sub !states 0 !count }
+  { grammar = g;
+    states = Array.sub !states 0 !count;
+    offsets;
+    n_item_ids;
+    id_item;
+    id_next;
+    id_lhs;
+    id_rhs_len }
 
 let predecessors a s = a.states.(s).predecessors
 

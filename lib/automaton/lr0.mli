@@ -3,16 +3,30 @@
     Each state is the closure of its kernel item set. As in every LR
     automaton, all edges into a state carry the same symbol, recorded as the
     state's [accessing] symbol; consequently reverse transitions from a state
-    are exactly its [predecessors]. *)
+    are exactly its [predecessors].
+
+    Items are interned into a dense integer id space at build time (the id of
+    [(prod, dot)] is the prefix-sum offset of [prod] plus [dot]), and every
+    state carries index tables keyed by these ids: constant-time membership
+    ([has_item_id]), constant-time item position ([local_index_of_id]), and
+    precomputed per-symbol item buckets ([items_with_next]). The searches in
+    [lib/core] key their hot structures on these ids. *)
 
 open Cfg
 
 type state = private {
   id : int;
   items : Item.t array;  (** kernel and closure items, sorted *)
+  item_ids : int array;  (** interned id per item, ascending (same order) *)
+  local_of_id : int array;
+      (** interned id -> index into [items]; -1 when the item is absent *)
+  offsets : int array;  (** shared interning table (id of [(p, 0)] per [p]) *)
   accessing : Symbol.t option;  (** [None] only for the start state *)
   goto_terminal : int array;  (** successor per terminal; -1 = none *)
   goto_nonterminal : int array;  (** successor per nonterminal; -1 = none *)
+  with_next_terminal : Item.t list array;
+      (** items whose next symbol is the given terminal, in [items] order *)
+  with_next_nonterminal : Item.t list array;
   mutable predecessors : int list;
 }
 
@@ -29,6 +43,30 @@ val start_state : int
 val transition : t -> int -> Symbol.t -> int option
 val predecessors : t -> int -> int list
 
+(** {2 Interned item ids} *)
+
+val n_item_ids : t -> int
+(** Size of the id space: one id per [(production, dot)] pair. *)
+
+val item_id : t -> Item.t -> int
+(** Dense id of an item; the inverse of {!item_of_id}. The id of an advanced
+    item is the item's id plus one. *)
+
+val item_of_id : t -> int -> Item.t
+val next_symbol_of_id : t -> int -> Symbol.t option
+val lhs_of_id : t -> int -> int
+(** Left-hand-side nonterminal of the item's production. *)
+
+val rhs_length_of_id : t -> int -> int
+
+val local_index_of_id : t -> int -> int -> int
+(** [local_index_of_id a state id]: position of the item within the state's
+    [items] array, or -1 when absent. *)
+
+val has_item_id : t -> int -> int -> bool
+
+(** {2 Structural item lookups} *)
+
 val item_index : state -> Item.t -> int option
 (** Position of the item within the state's sorted [items] array. *)
 
@@ -36,7 +74,8 @@ val has_item : state -> Item.t -> bool
 
 val items_with_next : t -> int -> Symbol.t -> Item.t list
 (** Items of the state whose next symbol (after the dot) is the given symbol;
-    used for shift items and for reverse production steps. *)
+    used for shift items and for reverse production steps. Precomputed at
+    build time. *)
 
 val reduce_items : t -> int -> Item.t list
 

@@ -51,113 +51,136 @@ let pp g ppf path =
 (* Backward reachability over (state, item) pairs, ignoring lookaheads: which
    vertices can reach the conflict item at all? This is the paper's section-6
    optimization: the forward Dijkstra then never expands vertices that cannot
-   reach the target. *)
-let backward_reachable lalr ~conflict_state ~target_item =
+   reach the target.
+
+   Vertices are the packed integers [state * n_item_ids + item_id] over the
+   automaton's interned item ids, so the visited set is a flat bitmap and the
+   worklist a queue of ints — no structural hashing anywhere. *)
+let backward_reachable_ids lalr ~conflict_state ~target_item =
   let lr0 = Lalr.lr0 lalr in
-  let g = Lalr.grammar lalr in
-  let reachable : (int * Item.t, unit) Hashtbl.t = Hashtbl.create 256 in
+  let n_ids = Lr0.n_item_ids lr0 in
+  let reach =
+    Bytes.make ((Lr0.n_states lr0 * n_ids + 7) lsr 3) '\000'
+  in
+  let mem key =
+    Char.code (Bytes.unsafe_get reach (key lsr 3)) land (1 lsl (key land 7))
+    <> 0
+  in
+  let set key =
+    Bytes.unsafe_set reach (key lsr 3)
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get reach (key lsr 3))
+         lor (1 lsl (key land 7))))
+  in
   let queue = Queue.create () in
-  let visit state item =
-    if not (Hashtbl.mem reachable (state, item)) then begin
-      Hashtbl.add reachable (state, item) ();
-      Queue.add (state, item) queue
+  let visit state id =
+    let key = (state * n_ids) + id in
+    if not (mem key) then begin
+      set key;
+      Queue.add key queue
     end
   in
-  visit conflict_state target_item;
+  visit conflict_state (Lr0.item_id lr0 target_item);
   while not (Queue.is_empty queue) do
-    let state, item = Queue.pop queue in
-    (* Reverse transition: the dot moved over the accessing symbol. *)
-    if item.Item.dot > 0 then begin
-      let prev = Item.retreat item in
+    let key = Queue.pop queue in
+    let state = key / n_ids and id = key mod n_ids in
+    let item = Lr0.item_of_id lr0 id in
+    (* Reverse transition: the dot moved over the accessing symbol. An
+       advanced item's id is its predecessor's plus one, so retreating is a
+       decrement. *)
+    if item.Item.dot > 0 then
       List.iter
-        (fun pred ->
-          if Lr0.has_item (Lr0.state lr0 pred) prev then visit pred prev)
+        (fun pred -> if Lr0.has_item_id lr0 pred (id - 1) then visit pred (id - 1))
         (Lr0.predecessors lr0 state)
-    end
     else begin
       (* Reverse production step: any item of the same state with this item's
          left-hand side after the dot. *)
-      let lhs = (Item.production g item).Grammar.lhs in
+      let lhs = Lr0.lhs_of_id lr0 id in
       List.iter
-        (fun ctx -> visit state ctx)
+        (fun (ctx : Item.t) -> visit state (Lr0.item_id lr0 ctx))
         (Lr0.items_with_next lr0 state (Symbol.Nonterminal lhs))
     end
   done;
-  fun state item -> Hashtbl.mem reachable (state, item)
-
-module Vertex = struct
-  type t = int * Item.t * Bitset.t
-
-  let equal (s1, i1, l1) (s2, i2, l2) =
-    s1 = s2 && Item.equal i1 i2 && Bitset.equal l1 l2
-
-  let hash (s, i, l) = (s * 65599) + (Item.hash i * 31) + Bitset.hash l
-end
-
-module Vtbl = Hashtbl.Make (Vertex)
+  fun state id -> mem ((state * n_ids) + id)
 
 type search_entry = {
-  vertex : Vertex.t;
+  state : int;
+  id : int;  (* interned item id *)
+  lookahead : Bitset.t;
   parent : (search_entry * step) option;
 }
 
 (* Shortest lookahead-sensitive path (paper section 4) from the start item
    with precise lookahead {$} to the conflict reduce item with the conflict
    terminal in its precise lookahead set. Transitions cost [transition_cost],
-   production steps [production_cost]. *)
+   production steps [production_cost].
+
+   The visited set is a flat array over packed (state, item id) keys holding
+   the lookahead sets already expanded for that pair — an int-indexed
+   replacement for the old polymorphic-hash vertex table. *)
 let find ?(transition_cost = 1) ?(production_cost = 0) lalr ~conflict_state
     ~reduce_item ~terminal =
   let lr0 = Lalr.lr0 lalr in
   let g = Lalr.grammar lalr in
   let analysis = Lalr.analysis lalr in
-  let relevant = backward_reachable lalr ~conflict_state ~target_item:reduce_item in
-  let visited = Vtbl.create 1024 in
-  let start_vertex = (Lr0.start_state, Item.start, Bitset.singleton 0) in
-  let queue =
-    ref (Pqueue.add Pqueue.empty 0 { vertex = start_vertex; parent = None })
+  let n_ids = Lr0.n_item_ids lr0 in
+  let relevant =
+    backward_reachable_ids lalr ~conflict_state ~target_item:reduce_item
   in
+  let visited : Bitset.t list array =
+    Array.make (Lr0.n_states lr0 * n_ids) []
+  in
+  let target_id = Lr0.item_id lr0 reduce_item in
+  let start =
+    { state = Lr0.start_state;
+      id = Lr0.item_id lr0 Item.start;
+      lookahead = Bitset.singleton 0;
+      parent = None }
+  in
+  let queue = ref (Pqueue.add Pqueue.empty 0 start) in
   let result = ref None in
-  while !result = None && not (Pqueue.is_empty !queue) do
+  while Option.is_none !result && not (Pqueue.is_empty !queue) do
     match Pqueue.pop !queue with
     | None -> assert false
     | Some (cost, entry, rest) ->
       queue := rest;
-      let ((state, item, lookahead) as vertex) = entry.vertex in
-      if not (Vtbl.mem visited vertex) then begin
-        Vtbl.add visited vertex ();
-        if
-          state = conflict_state
-          && Item.equal item reduce_item
-          && Bitset.mem lookahead terminal
+      let { state; id; lookahead; _ } = entry in
+      let key = (state * n_ids) + id in
+      if
+        not (List.exists (fun la -> Bitset.equal la lookahead) visited.(key))
+      then begin
+        visited.(key) <- lookahead :: visited.(key);
+        if state = conflict_state && id = target_id
+           && Bitset.mem lookahead terminal
         then result := Some entry
         else begin
           (* Transition edge. *)
-          (match Item.next_symbol g item with
+          (match Lr0.next_symbol_of_id lr0 id with
           | None -> ()
           | Some sym -> (
             match Lr0.transition lr0 state sym with
             | None -> ()
             | Some state' ->
-              let item' = Item.advance item in
-              if relevant state' item' then
+              if relevant state' (id + 1) then
                 queue :=
                   Pqueue.add !queue (cost + transition_cost)
-                    { vertex = (state', item', lookahead);
+                    { state = state'; id = id + 1; lookahead;
                       parent = Some (entry, Transition sym) }));
           (* Production step edges. *)
-          match Item.next_symbol g item with
+          match Lr0.next_symbol_of_id lr0 id with
           | Some (Symbol.Nonterminal nt) ->
+            let item = Lr0.item_of_id lr0 id in
             let follow =
               Analysis.follow_l analysis (Item.production g item)
                 ~dot:item.Item.dot lookahead
             in
             List.iter
               (fun p ->
-                let item' = Item.make p 0 in
-                if relevant state item' then
+                let id' = Lr0.item_id lr0 (Item.make p 0) in
+                if relevant state id' then
                   queue :=
                     Pqueue.add !queue (cost + production_cost)
-                      { vertex = (state, item', follow);
+                      { state; id = id'; lookahead = follow;
                         parent = Some (entry, Production p) })
               (Grammar.productions_of g nt)
           | Some (Symbol.Terminal _) | None -> ()
@@ -168,8 +191,11 @@ let find ?(transition_cost = 1) ?(production_cost = 0) lalr ~conflict_state
   | None -> None
   | Some entry ->
     let rec unwind entry nodes steps =
-      let state, item, lookahead = entry.vertex in
-      let node = { state; item; lookahead } in
+      let node =
+        { state = entry.state;
+          item = Lr0.item_of_id lr0 entry.id;
+          lookahead = entry.lookahead }
+      in
       match entry.parent with
       | None -> node :: nodes, steps
       | Some (parent, step) -> unwind parent (node :: nodes) (step :: steps)

@@ -209,10 +209,12 @@ let other_side_frames ?(require_terminal = true) lalr path ~conflict_state
   in
   let suffix_class (item : Item.t) =
     (* Can the suffix after the dot nonterminal begin with the conflict
-       terminal / is it nullable? *)
-    let rhs = (Item.production g item).Grammar.rhs in
+       terminal / is it nullable? Served by the per-(production, dot) FIRST
+       memo table. *)
     let set, nullable =
-      Analysis.first_of_seq analysis rhs ~from:(item.Item.dot + 1)
+      Analysis.first_of_prod analysis
+        ~prod:(Item.production g item).Grammar.index
+        ~from:(item.Item.dot + 1)
     in
     (Bitset.mem set terminal, nullable)
   in
@@ -232,7 +234,7 @@ let other_side_frames ?(require_terminal = true) lalr path ~conflict_state
     && (satisfied || terminal = 0 || not require_terminal)
   in
   let goal = ref None in
-  while !goal = None && not (Queue.is_empty queue) do
+  while Option.is_none !goal && not (Queue.is_empty queue) do
     let ((pos, item, satisfied) as key) = Queue.pop queue in
     if is_goal key then goal := Some key
     else if item.Item.dot > 0 then begin

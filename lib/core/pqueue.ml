@@ -1,44 +1,63 @@
-(* A persistent pairing heap keyed by integer priorities. Ties are broken by
-   insertion order (FIFO), which keeps searches deterministic. *)
+(* A monotone bucket queue in the style of Dial's algorithm: entries live in
+   per-priority buckets and pop always drains the least-priority bucket.
+   Both searches push small non-negative integer costs whose minimum never
+   decreases, so at any moment only a narrow band of priorities is populated
+   and every operation touches a handful of buckets.
 
-type 'a heap =
-  | Empty
-  | Node of int * int * 'a * 'a heap list  (* priority, seq, value, children *)
+   The buckets are held in an int-keyed balanced map rather than a mutable
+   circular array so the structure stays persistent — old versions remain
+   valid, which the searches rely on for determinism under replay and the
+   tests exercise directly. With the priority band a dozen entries wide, the
+   map is at most a few nodes deep, so operations are effectively
+   constant-time and allocate far less than the pairing heap's merge chains.
+
+   Each bucket is a banker's queue (front list + reversed back list), which
+   preserves FIFO order among equal priorities and keeps search outcomes
+   deterministic without the global insertion counter the pairing heap
+   needed. *)
+
+module M = Map.Make (Int)
+
+type 'a bucket = {
+  front : 'a list;  (* pop side, oldest first *)
+  back : 'a list;  (* push side, newest first *)
+}
 
 type 'a t = {
-  heap : 'a heap;
-  next_seq : int;
+  buckets : 'a bucket M.t;  (* nonempty buckets only *)
   size : int;
 }
 
-let empty = { heap = Empty; next_seq = 0; size = 0 }
+let empty = { buckets = M.empty; size = 0 }
 
 let is_empty q = q.size = 0
 let size q = q.size
 
-let merge h1 h2 =
-  match h1, h2 with
-  | Empty, h | h, Empty -> h
-  | Node (p1, s1, v1, c1), Node (p2, s2, v2, c2) ->
-    if p1 < p2 || (p1 = p2 && s1 < s2) then Node (p1, s1, v1, h2 :: c1)
-    else Node (p2, s2, v2, h1 :: c2)
-
-let rec merge_pairs = function
-  | [] -> Empty
-  | [ h ] -> h
-  | h1 :: h2 :: rest -> merge (merge h1 h2) (merge_pairs rest)
-
 let add q priority value =
-  { heap = merge q.heap (Node (priority, q.next_seq, value, []));
-    next_seq = q.next_seq + 1;
-    size = q.size + 1 }
+  let buckets =
+    M.update priority
+      (function
+        | None -> Some { front = [ value ]; back = [] }
+        | Some b -> Some { b with back = value :: b.back })
+      q.buckets
+  in
+  { buckets; size = q.size + 1 }
 
 let pop q =
-  match q.heap with
-  | Empty -> None
-  | Node (priority, _, value, children) ->
-    Some
-      ( priority, value,
-        { heap = merge_pairs children;
-          next_seq = q.next_seq;
-          size = q.size - 1 } )
+  match M.min_binding_opt q.buckets with
+  | None -> None
+  | Some (priority, b) ->
+    let value, rest =
+      match b.front with
+      | v :: front -> v, { b with front }
+      | [] -> (
+        match List.rev b.back with
+        | v :: front -> v, { front; back = [] }
+        | [] -> assert false (* empty buckets are removed eagerly *))
+    in
+    let buckets =
+      match rest with
+      | { front = []; back = [] } -> M.remove priority q.buckets
+      | _ -> M.add priority rest q.buckets
+    in
+    Some (priority, value, { buckets; size = q.size - 1 })

@@ -1,5 +1,10 @@
-(** Persistent min-priority queue (pairing heap) with integer priorities and
-    FIFO tie-breaking, so search orders are deterministic. *)
+(** Persistent min-priority queue with integer priorities and FIFO
+    tie-breaking, so search orders are deterministic.
+
+    Implemented as a monotone Dial-style bucket queue: per-priority FIFO
+    buckets in an int-keyed map. Tuned for the searches' access pattern —
+    small non-negative integer costs with a non-decreasing minimum — where
+    only a narrow band of priorities is ever populated. *)
 
 type 'a t
 

@@ -22,11 +22,6 @@ let default_costs =
     reduction = 0;
     off_path = 4 }
 
-type entry = {
-  state : int;
-  item : Item.t;
-}
-
 (* A configuration of the outward search (paper, Fig. 8): one item sequence
    and one partial-derivation list per simulated parser copy. Invariants:
 
@@ -36,12 +31,24 @@ type entry = {
      one advanced, in the successor state);
    - the first entries of both sequences are in the same state;
    - [derivs] holds one derivation per transition/goto edge, in order, and
-     the two sides' derivation frontiers spell the same symbol string. *)
+     the two sides' derivation frontiers spell the same symbol string.
+
+   Sequence entries are packed integers [(state lsl kbits) lor item_id] over
+   the automaton's interned item ids: every hot comparison (duplicate
+   checks, visited-set equality) is an int compare, advancing or retreating
+   an item is an increment or decrement of the low bits, and each sequence
+   carries its fold hash so the visited table never rehashes from scratch on
+   the append-only moves. *)
+type vec = {
+  a : int array;  (* packed entries, in sequence order *)
+  h : int;  (* cached hash: fold of [acc * 65599 + e] over [a], seed 17 *)
+}
+
 type config = {
-  seq1 : entry list;
-  derivs1 : Derivation.t list;
-  seq2 : entry list;
-  derivs2 : Derivation.t list;
+  seq1 : vec;
+  derivs1 : Derivation.t array;
+  seq2 : vec;
+  derivs2 : Derivation.t array;
   anchor1 : int;  (** index of the conflict item entry; -1 once reduced *)
   anchor2 : int;
   complete1 : bool;  (** stage 1 done: conflict reduce item reduced *)
@@ -68,25 +75,67 @@ type outcome =
   | Exhausted of stats
 
 (* ------------------------------------------------------------------ *)
+(* Packed sequences. *)
+
+let vec_hash a = Array.fold_left (fun acc e -> (acc * 65599) + e) 17 a
+
+let vec_of_array a = { a; h = vec_hash a }
+
+let vec_len v = Array.length v.a
+
+let vec_last v = v.a.(Array.length v.a - 1)
+
+let vec_append v e =
+  let n = Array.length v.a in
+  let a = Array.make (n + 1) e in
+  Array.blit v.a 0 a 0 n;
+  (* The fold hash extends in O(1) on appends — the common forward moves. *)
+  { a; h = (v.h * 65599) + e }
+
+let vec_prepend e v =
+  let n = Array.length v.a in
+  let a = Array.make (n + 1) e in
+  Array.blit v.a 0 a 1 n;
+  vec_of_array a
+
+let vec_mem e v = Array.exists (fun e' -> e' = e) v.a
+
+let vec_equal v1 v2 =
+  let n1 = Array.length v1.a and n2 = Array.length v2.a in
+  n1 = n2
+  &&
+  let rec go i = i >= n1 || (v1.a.(i) = v2.a.(i) && go (i + 1)) in
+  go 0
+
+let darr_append d x =
+  let n = Array.length d in
+  let a = Array.make (n + 1) x in
+  Array.blit d 0 a 0 n;
+  a
+
+let darr_prepend x d =
+  let n = Array.length d in
+  let a = Array.make (n + 1) x in
+  Array.blit d 0 a 1 n;
+  a
+
+(* ------------------------------------------------------------------ *)
 
 module Key = struct
   type t = config
 
-  let entry_equal e1 e2 = e1.state = e2.state && Item.equal e1.item e2.item
-
+  (* One traversal per sequence, guarded by the cached lengths and hashes, so
+     unequal-length sequences can never reach the elementwise loop. *)
   let equal c1 c2 =
     c1.complete1 = c2.complete1 && c1.complete2 = c2.complete2
     && c1.shifted_conflict = c2.shifted_conflict
     && c1.anchor1 = c2.anchor1 && c1.anchor2 = c2.anchor2
-    && List.length c1.seq1 = List.length c2.seq1
-    && List.length c1.seq2 = List.length c2.seq2
-    && List.for_all2 entry_equal c1.seq1 c2.seq1
-    && List.for_all2 entry_equal c1.seq2 c2.seq2
+    && c1.seq1.h = c2.seq1.h && c1.seq2.h = c2.seq2.h
+    && vec_equal c1.seq1 c2.seq1
+    && vec_equal c1.seq2 c2.seq2
 
   let hash c =
-    let entry_hash acc e = (acc * 65599) + (e.state * 31) + Item.hash e.item in
-    let h = List.fold_left entry_hash 17 c.seq1 in
-    let h = List.fold_left entry_hash (h + 3) c.seq2 in
+    let h = (c.seq1.h * 65599) + c.seq2.h in
     (h * 4)
     + (if c.complete1 then 1 else 0)
     + (if c.complete2 then 2 else 0)
@@ -95,12 +144,6 @@ end
 
 module Ktbl = Hashtbl.Make (Key)
 
-let last_exn l = List.nth l (List.length l - 1)
-
-let take n l = List.filteri (fun i _ -> i < n) l
-
-let drop n l = List.filteri (fun i _ -> i >= n) l
-
 (* ------------------------------------------------------------------ *)
 
 type context = {
@@ -108,28 +151,41 @@ type context = {
   g : Grammar.t;
   analysis : Analysis.t;
   lr0 : Lr0.t;
+  kbits : int;  (* bits of a packed entry holding the item id *)
+  first_id : int array;  (* interned id of [(p, 0)] per production [p] *)
   costs : costs;
   terminal : int;  (* the conflict terminal *)
-  on_path : int -> bool;
+  on_path : bool array;  (* per state *)
   extended : bool;
   is_shift_reduce : bool;
   shift_dot : int option;  (* original dot of the shift item, for the marker *)
 }
 
-(* Can the expansion of [rhs] (of a production-step target) begin with the
-   conflict terminal, or vanish entirely so that a later symbol provides it?
-   Used to prune forward production steps before the conflict terminal has
-   been consumed. *)
-let can_lead_to ctx rhs t =
-  let set, nullable = Analysis.first_of_seq ctx.analysis rhs ~from:0 in
-  nullable || Bitset.mem set t
+let pack ctx state id = (state lsl ctx.kbits) lor id
+let state_of ctx e = e lsr ctx.kbits
+let id_of ctx e = e land ((1 lsl ctx.kbits) - 1)
 
-let lookahead_of ctx state item = Lalr.lookahead_item ctx.lalr state item
+let next_of ctx e = Lr0.next_symbol_of_id ctx.lr0 (id_of ctx e)
+let dot_of ctx e = (Lr0.item_of_id ctx.lr0 (id_of ctx e)).Item.dot
+let is_reduce_of ctx e = Option.is_none (next_of ctx e)
+
+let lookahead_of ctx e =
+  Lalr.lookahead_of_id ctx.lalr (state_of ctx e) (id_of ctx e)
+
+(* Can the expansion of production [p]'s right-hand side (of a
+   production-step target) begin with the conflict terminal, or vanish
+   entirely so that a later symbol provides it? Used to prune forward
+   production steps before the conflict terminal has been consumed. The
+   FIRST sets come from the per-(production, dot) memo table, not a
+   recomputed walk. *)
+let can_lead_to ctx p t =
+  let set, nullable = Analysis.first_of_prod ctx.analysis ~prod:p ~from:0 in
+  nullable || Bitset.mem set t
 
 (* The terminal the product parser will consume next, if it is already
    determined by the other side's last item. *)
 let next_terminal_hint ctx other_last =
-  match Item.next_symbol ctx.g other_last.item with
+  match next_of ctx other_last with
   | Some (Symbol.Terminal t) -> Some t
   | Some (Symbol.Nonterminal _) | None -> None
 
@@ -137,8 +193,8 @@ let next_terminal_hint ctx other_last =
 (* Successor moves. Each returns (cost delta, new config). *)
 
 let forward_transition ctx cfg =
-  let l1 = last_exn cfg.seq1 and l2 = last_exn cfg.seq2 in
-  match Item.next_symbol ctx.g l1.item, Item.next_symbol ctx.g l2.item with
+  let l1 = vec_last cfg.seq1 and l2 = vec_last cfg.seq2 in
+  match next_of ctx l1, next_of ctx l2 with
   | Some z1, Some z2 when Symbol.equal z1 z2 ->
     let allowed =
       cfg.shifted_conflict
@@ -146,15 +202,18 @@ let forward_transition ctx cfg =
     in
     if not allowed then []
     else begin
-      match Lr0.transition ctx.lr0 l1.state z1, Lr0.transition ctx.lr0 l2.state z1 with
+      match
+        Lr0.transition ctx.lr0 (state_of ctx l1) z1,
+        Lr0.transition ctx.lr0 (state_of ctx l2) z1
+      with
       | Some s1', Some s2' ->
         let leaf = Derivation.leaf z1 in
         [ ( ctx.costs.transition,
             { cfg with
-              seq1 = cfg.seq1 @ [ { state = s1'; item = Item.advance l1.item } ];
-              derivs1 = cfg.derivs1 @ [ leaf ];
-              seq2 = cfg.seq2 @ [ { state = s2'; item = Item.advance l2.item } ];
-              derivs2 = cfg.derivs2 @ [ leaf ];
+              seq1 = vec_append cfg.seq1 (pack ctx s1' (id_of ctx l1 + 1));
+              derivs1 = darr_append cfg.derivs1 leaf;
+              seq2 = vec_append cfg.seq2 (pack ctx s2' (id_of ctx l2 + 1));
+              derivs2 = darr_append cfg.derivs2 leaf;
               shifted_conflict = true } ) ]
       | None, _ | _, None -> []
     end
@@ -162,36 +221,34 @@ let forward_transition ctx cfg =
 
 let forward_production_steps ctx cfg ~side =
   let seq = if side = 1 then cfg.seq1 else cfg.seq2 in
-  let l = last_exn seq in
+  let l = vec_last seq in
   (* If the other side already fixes the next terminal, only expansions that
      can start with it (or vanish) are worth taking. *)
   let other_hint =
     if not cfg.shifted_conflict then Some ctx.terminal
-    else next_terminal_hint ctx (last_exn (if side = 1 then cfg.seq2 else cfg.seq1))
+    else
+      next_terminal_hint ctx
+        (vec_last (if side = 1 then cfg.seq2 else cfg.seq1))
   in
-  match Item.next_symbol ctx.g l.item with
+  match next_of ctx l with
   | Some (Symbol.Nonterminal nt) ->
     List.filter_map
       (fun p ->
-        let item' = Item.make p 0 in
-        let rhs = (Grammar.production ctx.g p).Grammar.rhs in
         if
           match other_hint with
-          | Some t -> not (can_lead_to ctx rhs t)
+          | Some t -> not (can_lead_to ctx p t)
           | None -> false
         then None
         else begin
-          let entry' = { state = l.state; item = item' } in
-          let duplicate =
-            List.exists (fun e -> Key.entry_equal e entry') seq
-          in
+          let entry' = pack ctx (state_of ctx l) ctx.first_id.(p) in
+          let duplicate = vec_mem entry' seq in
           let cost =
             if duplicate then ctx.costs.duplicate_production
             else ctx.costs.production_step
           in
           let cfg' =
-            if side = 1 then { cfg with seq1 = cfg.seq1 @ [ entry' ] }
-            else { cfg with seq2 = cfg.seq2 @ [ entry' ] }
+            if side = 1 then { cfg with seq1 = vec_append cfg.seq1 entry' }
+            else { cfg with seq2 = vec_append cfg.seq2 entry' }
           in
           Some (cost, cfg')
         end)
@@ -204,20 +261,19 @@ let reduction ctx cfg ~side =
     if side = 1 then cfg.seq1, cfg.derivs1, cfg.anchor1
     else cfg.seq2, cfg.derivs2, cfg.anchor2
   in
-  let l = last_exn seq in
-  if not (Item.is_reduce ctx.g l.item) then []
+  let l = vec_last seq in
+  if not (is_reduce_of ctx l) then []
   else begin
-    let prod = Item.production ctx.g l.item in
-    let len_rhs = Array.length prod.Grammar.rhs in
-    let len_seq = List.length seq in
+    let len_rhs = Lr0.rhs_length_of_id ctx.lr0 (id_of ctx l) in
+    let len_seq = vec_len seq in
     if len_seq < len_rhs + 2 then []
     else begin
       (* Respect the lookahead set: if the next terminal is already
          determined, the reduce item must admit it; before the conflict
          terminal is consumed, the conflict terminal itself must be
          admissible. *)
-      let la = lookahead_of ctx l.state l.item in
-      let other_last = last_exn (if side = 1 then cfg.seq2 else cfg.seq1) in
+      let la = lookahead_of ctx l in
+      let other_last = vec_last (if side = 1 then cfg.seq2 else cfg.seq1) in
       let hint = next_terminal_hint ctx other_last in
       let ok =
         (match hint with Some t -> Bitset.mem la t | None -> true)
@@ -225,19 +281,23 @@ let reduction ctx cfg ~side =
       in
       if not ok then []
       else begin
+        let lhs = Lr0.lhs_of_id ctx.lr0 (id_of ctx l) in
         let keep = len_seq - len_rhs - 1 in
-        let kept = take keep seq in
-        let ctx_entry = last_exn kept in
-        (match Item.next_symbol ctx.g ctx_entry.item with
-        | Some (Symbol.Nonterminal nt) when nt = prod.Grammar.lhs -> ()
+        let ctx_entry = seq.a.(keep - 1) in
+        (match next_of ctx ctx_entry with
+        | Some (Symbol.Nonterminal nt) when nt = lhs -> ()
         | _ -> assert false);
-        match Lr0.transition ctx.lr0 ctx_entry.state
-                (Symbol.Nonterminal prod.Grammar.lhs)
+        match
+          Lr0.transition ctx.lr0 (state_of ctx ctx_entry)
+            (Symbol.Nonterminal lhs)
         with
         | None -> assert false
         | Some s' ->
-          let n_derivs = List.length derivs in
-          let children = drop (n_derivs - len_rhs) derivs in
+          let prod = Item.production ctx.g (Lr0.item_of_id ctx.lr0 (id_of ctx l)) in
+          let n_derivs = Array.length derivs in
+          let children =
+            Array.to_list (Array.sub derivs (n_derivs - len_rhs) len_rhs)
+          in
           let completes_conflict = anchor >= 0 && anchor >= keep in
           let dot =
             if not completes_conflict then None
@@ -248,9 +308,14 @@ let reduction ctx cfg ~side =
               | None -> Some len_rhs (* reduce/reduce second item *)
           in
           let node = Derivation.node ?dot ctx.g prod.Grammar.index children in
-          let derivs' = take (n_derivs - len_rhs) derivs @ [ node ] in
+          let derivs' =
+            darr_append (Array.sub derivs 0 (n_derivs - len_rhs)) node
+          in
           let seq' =
-            kept @ [ { state = s'; item = Item.advance ctx_entry.item } ]
+            let a = Array.make (keep + 1) 0 in
+            Array.blit seq.a 0 a 0 keep;
+            a.(keep) <- pack ctx s' (id_of ctx ctx_entry + 1);
+            vec_of_array a
           in
           let anchor' = if completes_conflict then -1 else anchor in
           let cfg' =
@@ -283,11 +348,11 @@ type preparation =
   | Needs_symbols  (* m < l + 1 *)
 
 let preparation ctx seq =
-  let l = last_exn seq in
-  if not (Item.is_reduce ctx.g l.item) then No_preparation
+  let l = vec_last seq in
+  if not (is_reduce_of ctx l) then No_preparation
   else begin
-    let len_rhs = Item.rhs_length ctx.g l.item in
-    let m = List.length seq in
+    let len_rhs = Lr0.rhs_length_of_id ctx.lr0 (id_of ctx l) in
+    let m = vec_len seq in
     if m >= len_rhs + 2 then No_preparation
     else if m = len_rhs + 1 then Needs_context
     else Needs_symbols
@@ -296,92 +361,108 @@ let preparation ctx seq =
 (* Reverse transition (paper, Fig. 10(c)): prepend matching predecessor
    entries to both sequences. *)
 let reverse_transitions ctx cfg =
-  match cfg.seq1, cfg.seq2 with
-  | f1 :: _, f2 :: _ when f1.item.Item.dot > 0 && f2.item.Item.dot > 0 ->
-    assert (f1.state = f2.state);
-    let head_state = Lr0.state ctx.lr0 f1.state in
-    (match head_state.Lr0.accessing with
-    | None -> []
-    | Some z ->
-      let p1 = Item.retreat f1.item and p2 = Item.retreat f2.item in
-      List.filter_map
-        (fun s0 ->
-          let st0 = Lr0.state ctx.lr0 s0 in
-          if not (Lr0.has_item st0 p1 && Lr0.has_item st0 p2) then None
-          else if
-            (* Stage-1 lookahead condition on the first parser's item. *)
-            (not cfg.complete1)
-            && not (Bitset.mem (lookahead_of ctx s0 p1) ctx.terminal)
-          then None
-          else begin
-            let off_path = not (ctx.on_path s0) in
-            if off_path && not ctx.extended then None
+  if vec_len cfg.seq1 = 0 || vec_len cfg.seq2 = 0 then []
+  else begin
+    let f1 = cfg.seq1.a.(0) and f2 = cfg.seq2.a.(0) in
+    if dot_of ctx f1 = 0 || dot_of ctx f2 = 0 then []
+    else begin
+      assert (state_of ctx f1 = state_of ctx f2);
+      let head_state = Lr0.state ctx.lr0 (state_of ctx f1) in
+      match head_state.Lr0.accessing with
+      | None -> []
+      | Some z ->
+        let p1 = id_of ctx f1 - 1 and p2 = id_of ctx f2 - 1 in
+        List.filter_map
+          (fun s0 ->
+            if not (Lr0.has_item_id ctx.lr0 s0 p1 && Lr0.has_item_id ctx.lr0 s0 p2)
+            then None
+            else if
+              (* Stage-1 lookahead condition on the first parser's item. *)
+              (not cfg.complete1)
+              && not
+                   (Bitset.mem (Lalr.lookahead_of_id ctx.lalr s0 p1)
+                      ctx.terminal)
+            then None
             else begin
-              let cost =
-                ctx.costs.reverse_transition
-                + if off_path then ctx.costs.off_path else 0
-              in
-              let leaf = Derivation.leaf z in
-              let bump a = if a < 0 then a else a + 1 in
-              Some
-                ( cost,
-                  { cfg with
-                    seq1 = { state = s0; item = p1 } :: cfg.seq1;
-                    derivs1 = leaf :: cfg.derivs1;
-                    seq2 = { state = s0; item = p2 } :: cfg.seq2;
-                    derivs2 = leaf :: cfg.derivs2;
-                    anchor1 = bump cfg.anchor1;
-                    anchor2 = bump cfg.anchor2 } )
-            end
-          end)
-        (Lr0.predecessors ctx.lr0 f1.state))
-  | _, _ -> []
+              let off_path = not ctx.on_path.(s0) in
+              if off_path && not ctx.extended then None
+              else begin
+                let cost =
+                  ctx.costs.reverse_transition
+                  + if off_path then ctx.costs.off_path else 0
+                in
+                let leaf = Derivation.leaf z in
+                let bump a = if a < 0 then a else a + 1 in
+                Some
+                  ( cost,
+                    { cfg with
+                      seq1 = vec_prepend (pack ctx s0 p1) cfg.seq1;
+                      derivs1 = darr_prepend leaf cfg.derivs1;
+                      seq2 = vec_prepend (pack ctx s0 p2) cfg.seq2;
+                      derivs2 = darr_prepend leaf cfg.derivs2;
+                      anchor1 = bump cfg.anchor1;
+                      anchor2 = bump cfg.anchor2 } )
+              end
+            end)
+          (Lr0.predecessors ctx.lr0 (state_of ctx f1))
+    end
+  end
 
 (* Reverse production step (paper, Fig. 10(d)/(e)): prepend a context item of
    the same state to whichever sequence starts with a dot-0 item. *)
 let reverse_production_steps ctx cfg ~side =
   let seq = if side = 1 then cfg.seq1 else cfg.seq2 in
-  match seq with
-  | f :: _ when f.item.Item.dot = 0 ->
-    let lhs = (Item.production ctx.g f.item).Grammar.lhs in
-    (* Precise-lookahead pruning: while the conflict reduction is still
-       pending on this side (stage 1, and stage 2 of reduce/reduce
-       conflicts), the conflict terminal must be able to follow the reduced
-       nonterminal in the prepended context, i.e. belong to the context
-       item's followL. This is sound — the LALR lookahead used is an
-       overapproximation — and prunes contexts that can never exhibit the
-       conflict. *)
-    let conflict_reduction_pending =
-      if side = 1 then not cfg.complete1
-      else (not ctx.is_shift_reduce) && not cfg.complete2
-    in
-    List.filter_map
-      (fun ctx_item ->
-        let follow =
-          Analysis.follow_l ctx.analysis (Item.production ctx.g ctx_item)
-            ~dot:ctx_item.Item.dot
-            (lookahead_of ctx f.state ctx_item)
-        in
-        if conflict_reduction_pending && not (Bitset.mem follow ctx.terminal)
-        then None
-        else begin
-          let entry = { state = f.state; item = ctx_item } in
-          let bump a = if a < 0 then a else a + 1 in
-          let duplicate = List.exists (fun e -> Key.entry_equal e entry) seq in
-          let cost =
-            if duplicate then ctx.costs.duplicate_production
-            else ctx.costs.production_step
+  if vec_len seq = 0 then []
+  else begin
+    let f = seq.a.(0) in
+    if dot_of ctx f <> 0 then []
+    else begin
+      let f_state = state_of ctx f in
+      let lhs = Lr0.lhs_of_id ctx.lr0 (id_of ctx f) in
+      (* Precise-lookahead pruning: while the conflict reduction is still
+         pending on this side (stage 1, and stage 2 of reduce/reduce
+         conflicts), the conflict terminal must be able to follow the reduced
+         nonterminal in the prepended context, i.e. belong to the context
+         item's followL. This is sound — the LALR lookahead used is an
+         overapproximation — and prunes contexts that can never exhibit the
+         conflict. *)
+      let conflict_reduction_pending =
+        if side = 1 then not cfg.complete1
+        else (not ctx.is_shift_reduce) && not cfg.complete2
+      in
+      List.filter_map
+        (fun (ctx_item : Item.t) ->
+          let ctx_id = Lr0.item_id ctx.lr0 ctx_item in
+          let follow =
+            Analysis.follow_l ctx.analysis (Item.production ctx.g ctx_item)
+              ~dot:ctx_item.Item.dot
+              (Lalr.lookahead_of_id ctx.lalr f_state ctx_id)
           in
-          let cfg' =
-            if side = 1 then
-              { cfg with seq1 = entry :: cfg.seq1; anchor1 = bump cfg.anchor1 }
-            else
-              { cfg with seq2 = entry :: cfg.seq2; anchor2 = bump cfg.anchor2 }
-          in
-          Some (cost, cfg')
-        end)
-      (Lr0.items_with_next ctx.lr0 f.state (Symbol.Nonterminal lhs))
-  | _ -> []
+          if conflict_reduction_pending && not (Bitset.mem follow ctx.terminal)
+          then None
+          else begin
+            let entry = pack ctx f_state ctx_id in
+            let bump a = if a < 0 then a else a + 1 in
+            let duplicate = vec_mem entry seq in
+            let cost =
+              if duplicate then ctx.costs.duplicate_production
+              else ctx.costs.production_step
+            in
+            let cfg' =
+              if side = 1 then
+                { cfg with
+                  seq1 = vec_prepend entry cfg.seq1;
+                  anchor1 = bump cfg.anchor1 }
+              else
+                { cfg with
+                  seq2 = vec_prepend entry cfg.seq2;
+                  anchor2 = bump cfg.anchor2 }
+            in
+            Some (cost, cfg')
+          end)
+        (Lr0.items_with_next ctx.lr0 f_state (Symbol.Nonterminal lhs))
+    end
+  end
 
 let successors ctx cfg =
   let moves = ref [] in
@@ -399,19 +480,16 @@ let successors ctx cfg =
   | Needs_context -> push (reverse_production_steps ctx cfg ~side:2)
   | Needs_symbols | No_preparation -> ());
   if prep1 = Needs_symbols || prep2 = Needs_symbols then begin
-    match cfg.seq1, cfg.seq2 with
-    | f1 :: _, f2 :: _ ->
-      if f1.item.Item.dot > 0 && f2.item.Item.dot > 0 then
-        push (reverse_transitions ctx cfg)
-      else begin
-        (* Unblock reverse transitions (Fig. 10(e)): undo the production step
-           that created whichever front item has its dot at 0. *)
-        if f1.item.Item.dot = 0 then
-          push (reverse_production_steps ctx cfg ~side:1);
-        if f2.item.Item.dot = 0 then
-          push (reverse_production_steps ctx cfg ~side:2)
-      end
-    | _, _ -> assert false
+    assert (vec_len cfg.seq1 > 0 && vec_len cfg.seq2 > 0);
+    let f1 = cfg.seq1.a.(0) and f2 = cfg.seq2.a.(0) in
+    if dot_of ctx f1 > 0 && dot_of ctx f2 > 0 then
+      push (reverse_transitions ctx cfg)
+    else begin
+      (* Unblock reverse transitions (Fig. 10(e)): undo the production step
+         that created whichever front item has its dot at 0. *)
+      if dot_of ctx f1 = 0 then push (reverse_production_steps ctx cfg ~side:1);
+      if dot_of ctx f2 = 0 then push (reverse_production_steps ctx cfg ~side:2)
+    end
   end;
   !moves
 
@@ -420,32 +498,48 @@ let successors ctx cfg =
    nonterminal differ. *)
 let success ctx cfg =
   if not (cfg.complete1 && cfg.complete2) then None
-  else
-    match cfg.seq1, cfg.seq2, cfg.derivs1, cfg.derivs2 with
-    | [ a1; _b1 ], [ a2; _b2 ], [ d1 ], [ d2 ] -> (
-      match Item.next_symbol ctx.g a1.item, Item.next_symbol ctx.g a2.item with
-      | Some (Symbol.Nonterminal n1), Some (Symbol.Nonterminal n2)
-        when n1 = n2 && not (Derivation.equal d1 d2) ->
-        Some { nonterminal = n1; form = Derivation.leaves d1; deriv1 = d1;
-               deriv2 = d2 }
-      | _, _ -> None)
-    | _, _, _, _ -> None
+  else if
+    vec_len cfg.seq1 <> 2 || vec_len cfg.seq2 <> 2
+    || Array.length cfg.derivs1 <> 1
+    || Array.length cfg.derivs2 <> 1
+  then None
+  else begin
+    let a1 = cfg.seq1.a.(0) and a2 = cfg.seq2.a.(0) in
+    let d1 = cfg.derivs1.(0) and d2 = cfg.derivs2.(0) in
+    match next_of ctx a1, next_of ctx a2 with
+    | Some (Symbol.Nonterminal n1), Some (Symbol.Nonterminal n2)
+      when n1 = n2 && not (Derivation.equal d1 d2) ->
+      Some { nonterminal = n1; form = Derivation.leaves d1; deriv1 = d1;
+             deriv2 = d2 }
+    | _, _ -> None
+  end
 
 (* ------------------------------------------------------------------ *)
 
 let search ?(costs = default_costs) ?(extended = false) ?(time_limit = 5.0)
     ?(max_configs = 400_000) lalr ~(conflict : Conflict.t) ~path_states =
   let started = Unix.gettimeofday () in
-  let path_set = Hashtbl.create 16 in
-  List.iter (fun s -> Hashtbl.replace path_set s ()) path_states;
+  let lr0 = Lalr.lr0 lalr in
+  let g = Lalr.grammar lalr in
+  let on_path = Array.make (Lr0.n_states lr0) false in
+  List.iter (fun s -> on_path.(s) <- true) path_states;
+  let kbits =
+    let n = Lr0.n_item_ids lr0 in
+    let rec go b = if 1 lsl b >= n then b else go (b + 1) in
+    go 1
+  in
   let ctx =
     { lalr;
-      g = Lalr.grammar lalr;
+      g;
       analysis = Lalr.analysis lalr;
-      lr0 = Lalr.lr0 lalr;
+      lr0;
+      kbits;
+      first_id =
+        Array.init (Grammar.n_productions g) (fun p ->
+            Lr0.item_id lr0 (Item.make p 0));
       costs;
       terminal = conflict.Conflict.terminal;
-      on_path = (fun s -> Hashtbl.mem path_set s);
+      on_path;
       extended;
       is_shift_reduce = Conflict.is_shift_reduce conflict;
       shift_dot =
@@ -455,11 +549,15 @@ let search ?(costs = default_costs) ?(extended = false) ?(time_limit = 5.0)
   in
   let initial =
     { seq1 =
-        [ { state = conflict.Conflict.state; item = Conflict.reduce_item conflict } ];
-      derivs1 = [];
+        vec_of_array
+          [| pack ctx conflict.Conflict.state
+               (Lr0.item_id lr0 (Conflict.reduce_item conflict)) |];
+      derivs1 = [||];
       seq2 =
-        [ { state = conflict.Conflict.state; item = Conflict.other_item conflict } ];
-      derivs2 = [];
+        vec_of_array
+          [| pack ctx conflict.Conflict.state
+               (Lr0.item_id lr0 (Conflict.other_item conflict)) |];
+      derivs2 = [||];
       anchor1 = 0;
       anchor2 = 0;
       complete1 = false;
@@ -471,7 +569,7 @@ let search ?(costs = default_costs) ?(extended = false) ?(time_limit = 5.0)
   let explored = ref 0 in
   let result = ref None in
   let give_up = ref None in
-  while !result = None && !give_up = None do
+  while Option.is_none !result && Option.is_none !give_up do
     if Pqueue.is_empty !queue then give_up := Some `Exhausted
     else if !explored land 255 = 0 && Unix.gettimeofday () -. started > time_limit
     then give_up := Some `Timeout

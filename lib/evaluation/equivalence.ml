@@ -1,0 +1,104 @@
+(* Corpus-wide engine-equivalence transcript.
+
+   Renders, for every conflict of every corpus grammar, everything the two
+   searches produce: the shortest lookahead-sensitive path, the product-search
+   outcome with its explored-configuration count, the unifying counterexample
+   (form and both derivations), and the nonunifying counterexample. The
+   transcript is fully deterministic: the product search runs under a
+   configuration budget instead of a wall-clock limit, so the text depends
+   only on the engine's exploration order — any change to search order, cost
+   accounting, or counterexample construction shows up as a diff against
+   test/equivalence.golden (captured from the seed engine). *)
+
+open Cfg
+open Automaton
+
+(* Effectively infinite: outcomes must be decided by the configuration
+   budget, never by wall-clock time, or the transcript would be flaky. *)
+let no_time_limit = 1e12
+
+let default_max_configs = 10_000
+
+let pp_syms g ppf syms =
+  Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any " ") Fmt.string)
+    (List.map (Grammar.symbol_name g) syms)
+
+let pp_deriv g ppf = function
+  | None -> Fmt.string ppf "-"
+  | Some d -> Derivation.pp g ppf d
+
+let add_conflict buf g lalr ~max_configs (c : Conflict.t) =
+  let pf fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+  let kind = if Conflict.is_shift_reduce c then "SR" else "RR" in
+  pf "-- conflict state=%d terminal=%s kind=%s reduce={%s} other={%s}\n"
+    c.Conflict.state
+    (Grammar.terminal_name g c.Conflict.terminal)
+    kind
+    (Item.to_string g (Conflict.reduce_item c))
+    (Item.to_string g (Conflict.other_item c));
+  let path =
+    Cex.Lookahead_path.find lalr ~conflict_state:c.Conflict.state
+      ~reduce_item:(Conflict.reduce_item c) ~terminal:c.Conflict.terminal
+  in
+  (match path with
+  | None -> pf "path: none\n"
+  | Some path ->
+    pf "path: nodes=%d prefix=%s states=[%a]\n"
+      (List.length path.Cex.Lookahead_path.nodes)
+      (Fmt.str "%a" (pp_syms g) (Cex.Lookahead_path.prefix_symbols path))
+      (Fmt.list ~sep:(Fmt.any " ") Fmt.int)
+      (Cex.Lookahead_path.states_on_path path));
+  (match path with
+  | None -> ()
+  | Some path ->
+    let outcome =
+      Cex.Product_search.search ~time_limit:no_time_limit ~max_configs lalr
+        ~conflict:c
+        ~path_states:(Cex.Lookahead_path.states_on_path path)
+    in
+    (match outcome with
+    | Cex.Product_search.Unifying (u, stats) ->
+      pf "search: unifying configs=%d\n"
+        stats.Cex.Product_search.configs_explored;
+      pf "u: nt=%s form=%s\n"
+        (Grammar.nonterminal_name g u.Cex.Product_search.nonterminal)
+        (Fmt.str "%a" (pp_syms g) u.Cex.Product_search.form);
+      pf "u-d1: %s\n"
+        (Derivation.to_string g u.Cex.Product_search.deriv1);
+      pf "u-d2: %s\n"
+        (Derivation.to_string g u.Cex.Product_search.deriv2)
+    | Cex.Product_search.Timeout stats ->
+      pf "search: budget configs=%d\n"
+        stats.Cex.Product_search.configs_explored
+    | Cex.Product_search.Exhausted stats ->
+      pf "search: exhausted configs=%d\n"
+        stats.Cex.Product_search.configs_explored));
+  match Cex.Nonunifying.construct lalr c with
+  | None -> pf "nu: none\n"
+  | Some nu ->
+    pf "nu: prefix=%s reduce=%s other=%s\n"
+      (Fmt.str "%a" (pp_syms g) nu.Cex.Nonunifying.prefix)
+      (Fmt.str "%a" (pp_syms g) nu.Cex.Nonunifying.reduce_continuation)
+      (Fmt.str "%a" (pp_syms g) nu.Cex.Nonunifying.other_continuation);
+    pf "nu-d1: %s\n"
+      (Fmt.str "%a" (pp_deriv g) nu.Cex.Nonunifying.deriv1);
+    pf "nu-d2: %s\n"
+      (Fmt.str "%a" (pp_deriv g) nu.Cex.Nonunifying.deriv2)
+
+let grammar_summary buf ~max_configs (entry : Corpus.entry) =
+  let pf fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+  let g = Corpus.grammar entry in
+  let table = Parse_table.build g in
+  let lalr = Parse_table.lalr table in
+  let conflicts = Parse_table.conflicts table in
+  pf "== %s conflicts=%d states=%d\n" entry.Corpus.name
+    (List.length conflicts)
+    (Lr0.n_states (Parse_table.lr0 table));
+  List.iter (add_conflict buf g lalr ~max_configs) conflicts
+
+let summary ?(max_configs = default_max_configs) () =
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf
+    (Fmt.str "equivalence transcript v1 max_configs=%d\n" max_configs);
+  List.iter (grammar_summary buf ~max_configs) (Corpus.all ());
+  Buffer.contents buf

@@ -1,0 +1,11 @@
+(** Corpus-wide engine-equivalence transcript: a deterministic textual record
+    of every search outcome and counterexample on every corpus grammar,
+    compared against [test/equivalence.golden] (captured from the seed
+    engine) to prove that engine optimisations change nothing observable. *)
+
+val default_max_configs : int
+(** Product-search configuration budget used by the committed golden file. *)
+
+val summary : ?max_configs:int -> unit -> string
+(** The full transcript. Deterministic: outcomes are bounded by the
+    configuration budget, never by wall-clock time. *)

@@ -213,3 +213,5 @@ let pp_scalability ppf series =
     (fun (name, states, avg) ->
       Fmt.pf ppf "  %-12s %5d states  %8.4f s/conflict@." name states avg)
     series
+
+module Equivalence = Equivalence

@@ -68,3 +68,6 @@ val scalability : row list -> (string * int * float) list
 (** (grammar, #states, avg s/conflict), sorted by #states. *)
 
 val pp_scalability : Format.formatter -> (string * int * float) list -> unit
+
+(** Engine-equivalence transcript (see {!Equivalence}). *)
+module Equivalence : module type of Equivalence

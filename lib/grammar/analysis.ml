@@ -12,6 +12,9 @@ type t = {
   reachable : bool array;
   front_cost : int array array;  (* [nt].[t] *)
   front_witness : front option array array;
+  suffix_first : (Bitset.t * bool) array array;
+      (* [prod].[pos]: FIRST of the right-hand-side suffix starting at [pos]
+         and whether it is nullable, memoized for the search hot paths *)
 }
 
 and front = {
@@ -65,11 +68,18 @@ let first_of_seq a rhs ~from =
   in
   go from Bitset.empty
 
+(* Memoized {!first_of_seq} for production right-hand sides: both searches
+   interrogate suffix FIRST sets inside their inner loops, so recomputing the
+   walk per query is pure waste. The table is filled once in {!make}. *)
+let first_of_prod a ~prod ~from =
+  let row = a.suffix_first.(prod) in
+  if from >= Array.length row then Bitset.empty, true else row.(from)
+
 (* The paper's precise follow set: followL for the production step taken from
    an item [lhs -> X1 ... Xk . X_{k+1} ...] with precise lookahead set [l].
    [dot] is the dot position k (so the symbol being expanded is rhs.(dot)). *)
 let follow_l a (p : Grammar.production) ~dot l =
-  let rest, rest_nullable = first_of_seq a p.Grammar.rhs ~from:(dot + 1) in
+  let rest, rest_nullable = first_of_prod a ~prod:p.Grammar.index ~from:(dot + 1) in
   if rest_nullable then Bitset.union rest l else rest
 
 (* ------------------------------------------------------------------ *)
@@ -306,8 +316,18 @@ let make g =
   let min_length = compute_min_length g in
   let reachable = compute_reachable g in
   let front_cost, front_witness = compute_front g nullable null_cost in
-  { grammar = g; nullable; null_cost; null_witness; first; min_yield;
-    min_yield_witness; min_length; reachable; front_cost; front_witness }
+  let a =
+    { grammar = g; nullable; null_cost; null_witness; first; min_yield;
+      min_yield_witness; min_length; reachable; front_cost; front_witness;
+      suffix_first = [||] }
+  in
+  let suffix_first =
+    Array.init (Grammar.n_productions g) (fun p ->
+        let rhs = (Grammar.production g p).Grammar.rhs in
+        Array.init (Array.length rhs + 1) (fun pos ->
+            first_of_seq a rhs ~from:pos))
+  in
+  { a with suffix_first }
 
 (* ------------------------------------------------------------------ *)
 (* Witness reconstruction. *)

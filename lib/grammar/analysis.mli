@@ -19,6 +19,11 @@ val first_of_seq : t -> Symbol.t array -> from:int -> Bitset.t * bool
 (** FIRST of the suffix starting at [from], and whether the suffix is
     nullable. *)
 
+val first_of_prod : t -> prod:int -> from:int -> Bitset.t * bool
+(** Memoized {!first_of_seq} over the production's right-hand side: the table
+    is precomputed once per grammar, so the search hot paths pay an array
+    read instead of a FIRST-set walk. *)
+
 val follow_l : t -> Grammar.production -> dot:int -> Bitset.t -> Bitset.t
 (** The paper's precise follow set [followL] (section 4): terminals that can
     actually follow the nonterminal at position [dot] of the production when

@@ -15,6 +15,16 @@ val to_string : ?minify:bool -> t -> string
 (** Render with two-space indentation ([minify:true] for one line).
     Non-finite floats render as [null]; object key order is preserved. *)
 
+exception Parse_error of int * string
+(** Character offset and message of the first syntax error. *)
+
+val of_string : string -> t
+(** Parse standard JSON (the subset {!to_string} emits, including [\uXXXX]
+    escapes for the basic multilingual plane). Raises {!Parse_error}. *)
+
+val of_string_opt : string -> t option
+(** Like {!of_string}, but [None] on malformed input. *)
+
 val member : string -> t -> t option
 (** Field lookup on [Obj] nodes ([None] on other nodes). *)
 

@@ -18,4 +18,5 @@ let () =
       Test_service.suite;
       Test_baselines.suite;
       Test_corpus.suite;
-      Test_export.suite ]
+      Test_export.suite;
+      Test_equivalence.suite ]

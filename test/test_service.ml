@@ -152,6 +152,41 @@ let test_json_emitter () =
     {|{"s":"a\"b\\c\nd","n":3,"f":0.25,"bad":null,"l":[true,null],"empty":{}}|}
     (Json.to_string ~minify:true t)
 
+let test_json_parser () =
+  let open Cex_service in
+  let t =
+    Json.Obj
+      [ ("s", Json.String "a\"b\\c\nd\te");
+        ("n", Json.Int 3);
+        ("neg", Json.Int (-17));
+        ("f", Json.Float 0.25);
+        ("exp", Json.Float 1.5e3);
+        ("l", Json.List [ Json.Bool true; Json.Bool false; Json.Null ]);
+        ("empty_l", Json.List []);
+        ("empty_o", Json.Obj []);
+        ("nested", Json.Obj [ ("k", Json.List [ Json.Int 1; Json.Int 2 ]) ]) ]
+  in
+  (* Round-trips through both renderings. *)
+  let reparse s =
+    match Json.of_string_opt s with
+    | Some v -> v
+    | None -> Alcotest.failf "parse failed on %s" s
+  in
+  Alcotest.(check bool) "round-trip minified" true
+    (reparse (Json.to_string ~minify:true t) = t);
+  Alcotest.(check bool) "round-trip indented" true
+    (reparse (Json.to_string t) = t);
+  Alcotest.(check bool) "unicode escape" true
+    (reparse {|"a\u0041\u00e9"|} = Json.String "aA\xc3\xa9");
+  (* Malformed inputs are rejected, not mangled. *)
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rejects %s" bad)
+        true
+        (Json.of_string_opt bad = None))
+    [ "{"; "[1,"; {|{"a" 1}|}; "tru"; {|"unterminated|}; "1 2"; "" ]
+
 let golden =
   {|{
   "schema_version": 1,
@@ -252,4 +287,5 @@ let suite =
       Alcotest.test_case "map-order-and-errors" `Quick
         test_map_order_and_errors;
       Alcotest.test_case "json-emitter" `Quick test_json_emitter;
+      Alcotest.test_case "json-parser" `Quick test_json_parser;
       Alcotest.test_case "json-golden" `Quick test_json_golden ] )

@@ -1,0 +1,14 @@
+(* Regenerate the engine-equivalence golden transcript:
+
+     dune exec tools/equivalence.exe > test/equivalence.golden
+
+   The committed file was captured from the seed (pre-overhaul) engine; only
+   regenerate it for a change that is *meant* to alter search outcomes, and
+   say so in the commit message. *)
+
+let () =
+  let max_configs =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1)
+    else Evaluation.Equivalence.default_max_configs
+  in
+  print_string (Evaluation.Equivalence.summary ~max_configs ())
