@@ -21,8 +21,26 @@ let make_options timeout cumulative extended =
 (* ------------------------------------------------------------------ *)
 (* The one-grammar command (the original behavior, plus --jobs/--json). *)
 
-let run path timeout cumulative extended jobs json show_states show_naive
-    classify_lr1 show_resolved =
+(* Exit codes shared by analyze and batch: 2 when conflicts remain, else 3
+   when --lint-error was given and an error-severity diagnostic fired. *)
+let lint_exit ~lint_error ~has_conflicts diagnostics =
+  if has_conflicts then 2
+  else if
+    lint_error
+    && List.exists Cex_lint.Diagnostic.has_errors
+         (List.filter_map Fun.id diagnostics)
+  then 3
+  else 0
+
+let pp_lint_section g ppf = function
+  | None -> ()
+  | Some diags ->
+    Fmt.pf ppf "@.[lint] %d diagnostic%s@." (List.length diags)
+      (if List.length diags = 1 then "" else "s");
+    List.iter (fun d -> Fmt.pf ppf "  %a@." (Cex_lint.Diagnostic.pp g) d) diags
+
+let run path timeout cumulative extended jobs json lint lint_error show_states
+    show_naive classify_lr1 show_resolved =
   match load_grammar path with
   | Error msg ->
     Fmt.epr "error: %s@." msg;
@@ -30,6 +48,9 @@ let run path timeout cumulative extended jobs json show_states show_naive
   | Ok g ->
     let options = make_options timeout cumulative extended in
     let table = Automaton.Parse_table.build g in
+    let diagnostics =
+      if lint || lint_error then Some (Cex_lint.Lint.run table) else None
+    in
     let report =
       if jobs <= 1 then Cex.Driver.analyze_table ~options table
       else Cex_service.Scheduler.analyze_table ~options ~jobs table
@@ -37,7 +58,8 @@ let run path timeout cumulative extended jobs json show_states show_naive
     if json then
       Fmt.pr "%s@."
         (Cex_service.Json.to_string
-           (Cex_service.Json_report.report_to_json ~name:path report))
+           (Cex_service.Json_report.report_to_json ~name:path ?diagnostics
+              report))
     else begin
       if show_states then
         Fmt.pr "%a@."
@@ -97,9 +119,12 @@ let run path timeout cumulative extended jobs json show_states show_naive
                  else "")
                 (Baselines.Naive_path.pp g) naive)
           (Automaton.Parse_table.conflicts table)
-      end
+      end;
+      pp_lint_section g Fmt.stdout diagnostics
     end;
-    if Automaton.Parse_table.conflicts table = [] then 0 else 2
+    lint_exit ~lint_error
+      ~has_conflicts:(Automaton.Parse_table.conflicts table <> [])
+      [ diagnostics ]
 
 (* ------------------------------------------------------------------ *)
 (* The batch command. *)
@@ -129,8 +154,8 @@ let load_batch_entries paths use_corpus =
   in
   if errors <> [] then Error (String.concat "\n" errors) else Ok entries
 
-let run_batch paths use_corpus timeout cumulative extended jobs json
-    cache_size repeat =
+let run_batch paths use_corpus timeout cumulative extended jobs json lint
+    lint_error cache_size repeat =
   match load_batch_entries paths use_corpus with
   | Error msg ->
     Fmt.epr "error: %s@." msg;
@@ -151,13 +176,24 @@ let run_batch paths use_corpus timeout cumulative extended jobs json
       stats := Some st
     done;
     let results = !results and stats = Option.get !stats in
+    let diagnostics =
+      List.map
+        (fun (r : Cex_service.Scheduler.batch_result) ->
+          if lint || lint_error then
+            Some
+              (Cex_lint.Lint.run
+                 r.Cex_service.Scheduler.report.Cex.Driver.table)
+          else None)
+        results
+    in
     if json then
       Fmt.pr "%s@."
         (Cex_service.Json.to_string
-           (Cex_service.Json_report.batch_to_json ~stats results))
+           (Cex_service.Json_report.batch_to_json ~stats ~lint:diagnostics
+              results))
     else begin
-      List.iter
-        (fun (r : Cex_service.Scheduler.batch_result) ->
+      List.iter2
+        (fun (r : Cex_service.Scheduler.batch_result) diags ->
           let report = r.Cex_service.Scheduler.report in
           Fmt.pr "%-16s %3d conflicts: %3d unifying, %3d nonunifying, %3d \
                   timed out  (%6.3fs)%s@."
@@ -167,17 +203,107 @@ let run_batch paths use_corpus timeout cumulative extended jobs json
             (Cex.Driver.n_nonunifying report)
             (Cex.Driver.n_timeout report)
             report.Cex.Driver.total_elapsed
-            (if r.Cex_service.Scheduler.from_cache then "  [cached]" else ""))
-        results;
+            (if r.Cex_service.Scheduler.from_cache then "  [cached]" else "");
+          Option.iter
+            (fun diags ->
+              let g = Cex.Driver.grammar report in
+              List.iter
+                (fun d ->
+                  Fmt.pr "    %a@." (Cex_lint.Diagnostic.pp g) d)
+                diags)
+            diags)
+        results diagnostics;
       Fmt.pr "@.%a@." Cex_service.Stats.pp_summary stats
     end;
-    if
-      List.exists
-        (fun (r : Cex_service.Scheduler.batch_result) ->
-          r.Cex_service.Scheduler.report.Cex.Driver.conflict_reports <> [])
-        results
-    then 2
-    else 0
+    lint_exit ~lint_error
+      ~has_conflicts:
+        (List.exists
+           (fun (r : Cex_service.Scheduler.batch_result) ->
+             r.Cex_service.Scheduler.report.Cex.Driver.conflict_reports <> [])
+           results)
+      diagnostics
+
+(* ------------------------------------------------------------------ *)
+(* The lint command: static diagnostics only, no counterexample search. *)
+
+let print_rule_catalog () =
+  let group_name = function
+    | Cex_lint.Lint.Hygiene -> "hygiene"
+    | Cex_lint.Lint.Conflicts -> "conflict"
+  in
+  List.iter
+    (fun (r : Cex_lint.Lint.rule) ->
+      Fmt.pr "%-24s %-8s %-7s %s@." r.Cex_lint.Lint.code
+        (group_name r.Cex_lint.Lint.group)
+        (Cex_lint.Diagnostic.severity_string r.Cex_lint.Lint.default_severity)
+        r.Cex_lint.Lint.doc)
+    Cex_lint.Lint.rules
+
+let run_lint paths use_corpus json enable disable show_rules =
+  if show_rules then begin
+    print_rule_catalog ();
+    0
+  end
+  else
+    match Cex_lint.Lint.check_codes (enable @ disable) with
+    | Error msg ->
+      Fmt.epr "error: %s@." msg;
+      1
+    | Ok () -> (
+      match load_batch_entries paths use_corpus with
+      | Error msg ->
+        Fmt.epr "error: %s@." msg;
+        1
+      | Ok [] ->
+        Fmt.epr "error: no grammars to lint (pass files or --corpus)@.";
+        1
+      | Ok entries ->
+        let enable = if enable = [] then None else Some enable in
+        let disable = if disable = [] then None else Some disable in
+        let linted =
+          List.map
+            (fun (name, g) ->
+              let table = Automaton.Parse_table.build g in
+              (name, table, Cex_lint.Lint.report ?enable ?disable table))
+            entries
+        in
+        if json then
+          Fmt.pr "%s@."
+            (Cex_service.Json.to_string
+               (Cex_service.Json_report.lint_to_json linted))
+        else begin
+          List.iter
+            (fun (name, table, rep) ->
+              Fmt.pr "@[<v>== %s ==@,%a@]@?" name
+                (Cex_lint.Lint.pp_report (Automaton.Parse_table.grammar table))
+                rep)
+            linted;
+          let total f = List.fold_left (fun n (_, _, rep) -> n + f rep) 0 linted in
+          let count sev (rep : Cex_lint.Lint.report) =
+            Cex_lint.Diagnostic.count sev rep.Cex_lint.Lint.diagnostics
+          in
+          Fmt.pr
+            "@.%d grammar%s: %d diagnostics (%d errors, %d warnings), %d \
+             conflicts (%d unclassified)@."
+            (List.length linted)
+            (if List.length linted = 1 then "" else "s")
+            (total (fun rep -> List.length rep.Cex_lint.Lint.diagnostics))
+            (total (count Cex_lint.Diagnostic.Error))
+            (total (count Cex_lint.Diagnostic.Warning))
+            (total (fun rep -> List.length rep.Cex_lint.Lint.classifications))
+            (total (fun rep ->
+                 List.length
+                   (List.filter
+                      (fun (_, code) -> code = Cex_lint.Lint.unclassified)
+                      rep.Cex_lint.Lint.classifications)))
+        end;
+        if
+          List.exists
+            (fun (_, _, (rep : Cex_lint.Lint.report)) ->
+              Cex_lint.Diagnostic.has_errors rep.Cex_lint.Lint.diagnostics)
+            linted
+        then 2
+        else 0)
 
 (* ------------------------------------------------------------------ *)
 
@@ -213,6 +339,20 @@ let json_arg =
     value & flag
     & info [ "json" ] ~doc:"Emit a machine-readable JSON report on stdout.")
 
+let lint_arg =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:"Also run the static lint rules and include their diagnostics \
+              in the report.")
+
+let lint_error_arg =
+  Arg.(
+    value & flag
+    & info [ "lint-error" ]
+        ~doc:"Like $(b,--lint), and exit 3 when any error-severity \
+              diagnostic fires (conflicts still exit 2).")
+
 let path_arg =
   Arg.(
     required
@@ -247,7 +387,8 @@ let analyze_term =
   in
   Term.(
     const run $ path_arg $ timeout_arg $ cumulative_arg $ extended_arg
-    $ jobs_arg $ json_arg $ states_arg $ naive_arg $ lr1_arg $ resolved_arg)
+    $ jobs_arg $ json_arg $ lint_arg $ lint_error_arg $ states_arg $ naive_arg
+    $ lr1_arg $ resolved_arg)
 
 let analyze_cmd =
   Cmd.v
@@ -288,7 +429,48 @@ let batch_cmd =
     (Cmd.info "batch" ~doc)
     Term.(
       const run_batch $ paths_arg $ corpus_arg $ timeout_arg $ cumulative_arg
-      $ extended_arg $ jobs_arg $ json_arg $ cache_arg $ repeat_arg)
+      $ extended_arg $ jobs_arg $ json_arg $ lint_arg $ lint_error_arg
+      $ cache_arg $ repeat_arg)
+
+let lint_cmd =
+  let paths_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"GRAMMAR"
+          ~doc:"Grammar files in the yacc-like format (zero or more).")
+  in
+  let corpus_arg =
+    Arg.(
+      value & flag
+      & info [ "corpus" ]
+          ~doc:"Also lint every grammar of the built-in evaluation corpus.")
+  in
+  let enable_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "enable" ] ~docv:"CODE"
+          ~doc:"Run only the named rules (repeatable).")
+  in
+  let disable_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "disable" ] ~docv:"CODE"
+          ~doc:"Skip the named rules (repeatable).")
+  in
+  let rules_arg =
+    Arg.(
+      value & flag
+      & info [ "rules" ] ~doc:"Print the rule catalog and exit.")
+  in
+  let doc =
+    "run the static lint rules over grammars (no counterexample search); \
+     exits 2 when an error-severity diagnostic fires"
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc)
+    Term.(
+      const run_lint $ paths_arg $ corpus_arg $ json_arg $ enable_arg
+      $ disable_arg $ rules_arg)
 
 let cmd =
   let doc =
@@ -297,7 +479,7 @@ let cmd =
   in
   Cmd.group
     (Cmd.info "lrcex" ~version:"1.1.0" ~doc)
-    ~default:analyze_term [ analyze_cmd; batch_cmd ]
+    ~default:analyze_term [ analyze_cmd; batch_cmd; lint_cmd ]
 
 (* Backward compatibility: `lrcex my.y` (no subcommand) still analyzes the
    file, as the original single-command CLI did. cmdliner groups would
@@ -308,7 +490,7 @@ let () =
     if
       Array.length argv > 1
       && (argv.(1) = "-" || String.length argv.(1) = 0 || argv.(1).[0] <> '-')
-      && argv.(1) <> "analyze" && argv.(1) <> "batch"
+      && argv.(1) <> "analyze" && argv.(1) <> "batch" && argv.(1) <> "lint"
     then
       Array.concat
         [ [| argv.(0); "analyze" |]; Array.sub argv 1 (Array.length argv - 1) ]

@@ -2,7 +2,7 @@
 
 open Cmdliner
 
-let run names with_baseline timeout cumulative quick jobs =
+let run names with_baseline timeout cumulative quick jobs lint =
   match
     match names with
     | [] -> Ok (Corpus.all ())
@@ -13,6 +13,12 @@ let run names with_baseline timeout cumulative quick jobs =
   | Error msg ->
     Fmt.epr "error: %s@." msg;
     1
+  | Ok entries when lint ->
+    (* Static only: lint the corpus and print the summary table, skipping
+       the (slow) counterexample searches entirely. *)
+    Fmt.pr "%a" Evaluation.Lint_summary.pp_table
+      (Evaluation.Lint_summary.run_rows entries);
+    0
   | Ok entries ->
   let options =
     { Cex.Driver.default_options with
@@ -59,11 +65,17 @@ let jobs_arg =
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:"Compute table rows on $(docv) worker domains in parallel.")
 
+let lint_arg =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:"Print the corpus-wide lint summary instead (static, fast).")
+
 let cmd =
   Cmd.v
     (Cmd.info "table1" ~doc:"regenerate the paper's Table 1")
     Term.(
       const run $ names_arg $ baseline_arg $ timeout_arg $ cumulative_arg
-      $ quick_arg $ jobs_arg)
+      $ quick_arg $ jobs_arg $ lint_arg)
 
 let () = exit (Cmd.eval' cmd)

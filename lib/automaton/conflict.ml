@@ -27,6 +27,11 @@ let other_item c =
   | Shift_reduce { shift_item; _ } -> shift_item
   | Reduce_reduce { reduce2; _ } -> reduce2
 
+let shift_item c =
+  match c.kind with
+  | Shift_reduce { shift_item; _ } -> Some shift_item
+  | Reduce_reduce _ -> None
+
 let is_shift_reduce c =
   match c.kind with
   | Shift_reduce _ -> true

@@ -32,6 +32,9 @@ val reduce_item : t -> Item.t
 val other_item : t -> Item.t
 (** The shift item, or the second reduce item. *)
 
+val shift_item : t -> Item.t option
+(** The shift item of a shift/reduce conflict; [None] for reduce/reduce. *)
+
 val is_shift_reduce : t -> bool
 val pp : Grammar.t -> Format.formatter -> t -> unit
 val to_string : Grammar.t -> t -> string

@@ -115,12 +115,13 @@ let build_from lalr =
                     let record_resolved resolution =
                       incr precedence_resolved;
                       List.iter
-                        (fun shift_item ->
+                        (fun si ->
                           resolved_conflicts :=
                             ( Conflict.
                                 { state = s; terminal = term;
                                   kind =
-                                    Shift_reduce { shift_item; reduce_item = item } },
+                                    Shift_reduce
+                                      { shift_item = si; reduce_item = item } },
                               resolution )
                             :: !resolved_conflicts)
                         (Lr0.items_with_next lr0 s (Symbol.Terminal term))
@@ -138,13 +139,13 @@ let build_from lalr =
                       (* Unresolved: record one conflict per shift item with
                          this next terminal; shift wins by default. *)
                       List.iter
-                        (fun shift_item ->
+                        (fun si ->
                           conflicts :=
                             Conflict.
                               { state = s; terminal = term;
                                 kind =
                                   Shift_reduce
-                                    { shift_item; reduce_item = item } }
+                                    { shift_item = si; reduce_item = item } }
                             :: !conflicts)
                         (Lr0.items_with_next lr0 s (Symbol.Terminal term));
                       ignore target))

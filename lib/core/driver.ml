@@ -28,6 +28,7 @@ type counterexample =
 
 type conflict_report = {
   conflict : Conflict.t;
+  classification : string;
   counterexample : counterexample option;
   outcome : outcome;
   elapsed : float;
@@ -54,6 +55,10 @@ let n_timeout r = count Search_timeout r + count Skipped_search r
 let analyze_conflict ?(options = default_options) ?(skip_search = false) lalr
     conflict =
   let started = Unix.gettimeofday () in
+  (* Static conflict classification (the lint engine's pattern match) rides
+     along with every report: it costs no search time and lets batch users
+     triage conflicts without reading each counterexample. *)
+  let classification = Cex_lint.Lint.classification lalr conflict in
   let path =
     Lookahead_path.find lalr ~conflict_state:conflict.Conflict.state
       ~reduce_item:(Conflict.reduce_item conflict)
@@ -65,7 +70,7 @@ let analyze_conflict ?(options = default_options) ?(skip_search = false) lalr
       | Some nu -> Some (Nonunifying nu)
       | None -> None
     in
-    { conflict; counterexample; outcome;
+    { conflict; classification; counterexample; outcome;
       elapsed = Unix.gettimeofday () -. started;
       configs_explored = configs }
   in
@@ -83,6 +88,7 @@ let analyze_conflict ?(options = default_options) ?(skip_search = false) lalr
     with
     | Product_search.Unifying (u, stats) ->
       { conflict;
+        classification;
         counterexample = Some (Unifying u);
         outcome = Found_unifying;
         elapsed = Unix.gettimeofday () -. started;

@@ -35,6 +35,10 @@ type counterexample =
 
 type conflict_report = {
   conflict : Conflict.t;
+  classification : string;
+      (** static conflict-pattern classification from the lint engine
+          ({!Cex_lint.Lint.classification}): a conflict-group rule code such
+          as ["dangling-else"], or ["unclassified"] *)
   counterexample : counterexample option;
       (** [None] only if even the nonunifying construction failed *)
   outcome : outcome;

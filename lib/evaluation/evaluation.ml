@@ -215,3 +215,4 @@ let pp_scalability ppf series =
     series
 
 module Equivalence = Equivalence
+module Lint_summary = Lint_summary

@@ -71,3 +71,6 @@ val pp_scalability : Format.formatter -> (string * int * float) list -> unit
 
 (** Engine-equivalence transcript (see {!Equivalence}). *)
 module Equivalence : module type of Equivalence
+
+(** Corpus-wide lint summary (see {!Lint_summary}). *)
+module Lint_summary : module type of Lint_summary

@@ -1,0 +1,93 @@
+open Automaton
+
+type row = {
+  entry : Corpus.entry;
+  table : Parse_table.t;
+  report : Cex_lint.Lint.report;
+  errors : int;
+  warnings : int;
+  infos : int;
+  conflicts : int;
+  unclassified : int;
+}
+
+let run_row (entry : Corpus.entry) =
+  let table = Parse_table.build (Corpus.grammar entry) in
+  let report = Cex_lint.Lint.report table in
+  let diags = report.Cex_lint.Lint.diagnostics in
+  { entry;
+    table;
+    report;
+    errors = Cex_lint.Diagnostic.count Cex_lint.Diagnostic.Error diags;
+    warnings = Cex_lint.Diagnostic.count Cex_lint.Diagnostic.Warning diags;
+    infos = Cex_lint.Diagnostic.count Cex_lint.Diagnostic.Info diags;
+    conflicts = List.length report.Cex_lint.Lint.classifications;
+    unclassified =
+      List.length
+        (List.filter
+           (fun (_, code) -> code = Cex_lint.Lint.unclassified)
+           report.Cex_lint.Lint.classifications) }
+
+let run_rows entries = List.map run_row entries
+
+let code_totals rows =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (d : Cex_lint.Diagnostic.t) ->
+          let code = d.Cex_lint.Diagnostic.code in
+          Hashtbl.replace tbl code
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tbl code)))
+        r.report.Cex_lint.Lint.diagnostics)
+    rows;
+  List.filter_map
+    (fun (rule : Cex_lint.Lint.rule) ->
+      Option.map
+        (fun n -> (rule.Cex_lint.Lint.code, n))
+        (Hashtbl.find_opt tbl rule.Cex_lint.Lint.code))
+    Cex_lint.Lint.rules
+
+let classification_of_row r code =
+  List.length
+    (List.filter (fun (_, c) -> c = code) r.report.Cex_lint.Lint.classifications)
+
+let pp_header ppf () =
+  Fmt.pf ppf "%-12s | %4s %4s %4s | %5s %7s %4s %4s %7s@." "Grammar" "err"
+    "warn" "info" "#conf" "d-else" "rr" "prec" "unclass";
+  Fmt.pf ppf "%s@." (String.make 66 '-')
+
+let pp_row ppf r =
+  Fmt.pf ppf "%-12s | %4d %4d %4d | %5d %7d %4d %4d %7d@."
+    r.entry.Corpus.name r.errors r.warnings r.infos r.conflicts
+    (classification_of_row r "dangling-else")
+    (classification_of_row r "rr-overlap")
+    (classification_of_row r "prec-resolvable")
+    r.unclassified
+
+let pp_table ppf rows =
+  pp_header ppf ();
+  List.iter (pp_row ppf) rows;
+  Fmt.pf ppf "%s@." (String.make 66 '-');
+  let sum f = List.fold_left (fun n r -> n + f r) 0 rows in
+  Fmt.pf ppf "%-12s | %4d %4d %4d | %5d %7d %4d %4d %7d@." "total"
+    (sum (fun r -> r.errors))
+    (sum (fun r -> r.warnings))
+    (sum (fun r -> r.infos))
+    (sum (fun r -> r.conflicts))
+    (sum (fun r -> classification_of_row r "dangling-else"))
+    (sum (fun r -> classification_of_row r "rr-overlap"))
+    (sum (fun r -> classification_of_row r "prec-resolvable"))
+    (sum (fun r -> r.unclassified));
+  Fmt.pf ppf "diagnostic codes seen:@.";
+  List.iter
+    (fun (code, n) -> Fmt.pf ppf "  %-24s %4d@." code n)
+    (code_totals rows)
+
+let corpus_rows () = run_rows (Corpus.all ())
+
+let corpus_json () =
+  Cex_service.Json_report.lint_to_json
+    (List.map
+       (fun r -> (r.entry.Corpus.name, r.table, r.report))
+       (corpus_rows ()))

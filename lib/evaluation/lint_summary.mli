@@ -1,0 +1,39 @@
+(** Corpus-wide lint summary: run the {!Cex_lint.Lint} engine over every
+    {!Corpus} entry and tabulate diagnostics and conflict classifications.
+    Purely static — no counterexample search runs, so the whole corpus lints
+    in well under a second and the output is byte-deterministic (the basis
+    of the committed golden lint transcript). *)
+
+open Automaton
+
+type row = {
+  entry : Corpus.entry;
+  table : Parse_table.t;
+  report : Cex_lint.Lint.report;
+  errors : int;
+  warnings : int;
+  infos : int;
+  conflicts : int;  (** unresolved automaton conflicts *)
+  unclassified : int;  (** conflicts matching no static pattern *)
+}
+
+val run_row : Corpus.entry -> row
+val run_rows : Corpus.entry list -> row list
+
+val code_totals : row list -> (string * int) list
+(** Diagnostic counts per rule code over all rows, in catalog order;
+    codes that never fired are omitted. *)
+
+val pp_header : Format.formatter -> unit -> unit
+val pp_row : Format.formatter -> row -> unit
+
+val pp_table : Format.formatter -> row list -> unit
+(** Per-grammar rows, a totals line, and the per-code tally. *)
+
+val corpus_rows : unit -> row list
+(** {!run_rows} over {!Corpus.all}. *)
+
+val corpus_json : unit -> Cex_service.Json.t
+(** The canonical [lrcex lint --corpus --json] document
+    ({!Cex_service.Json_report.lint_to_json} over {!corpus_rows}); both the
+    CLI and the golden-transcript tool render exactly this value. *)

@@ -10,6 +10,7 @@ type t = {
   min_yield_witness : int option array;
   min_length : int array;
   reachable : bool array;
+  cyclic : bool array;
   front_cost : int array array;  (* [nt].[t] *)
   front_witness : front option array array;
   suffix_first : (Bitset.t * bool) array array;
@@ -31,6 +32,7 @@ let grammar a = a.grammar
 let nullable a nt = a.nullable.(nt)
 let first a nt = a.first.(nt)
 let reachable a nt = a.reachable.(nt)
+let cyclic a nt = a.cyclic.(nt)
 let productive a nt = a.min_yield.(nt) < infinity_cost
 let min_yield a nt = if productive a nt then Some a.min_yield.(nt) else None
 
@@ -256,6 +258,57 @@ let compute_reachable g =
   visit 0;
   reachable
 
+(* Derivation cycles A =>+ A: there is an edge A -> B when some production
+   A ::= alpha B beta has every other right-hand-side symbol nullable (so the
+   step rederives a lone nonterminal up to epsilon siblings). A nonterminal
+   on a cycle of such edges derives itself, which gives some sentences
+   unboundedly many parse trees. *)
+let compute_cyclic g nullable =
+  let n_nt = Grammar.n_nonterminals g in
+  let reaches = Array.make n_nt Bitset.empty in
+  let nullable_sym = function
+    | Symbol.Terminal _ -> false
+    | Symbol.Nonterminal nt -> nullable.(nt)
+  in
+  for p = 0 to Grammar.n_productions g - 1 do
+    let prod = Grammar.production g p in
+    let rhs = prod.Grammar.rhs in
+    let n_not_nullable =
+      Array.fold_left
+        (fun n s -> if nullable_sym s then n else n + 1)
+        0 rhs
+    in
+    Array.iter
+      (fun s ->
+        match s with
+        | Symbol.Terminal _ -> ()
+        | Symbol.Nonterminal b ->
+          (* Every sibling of [b] must be nullable: either all symbols are, or
+             [b] itself is the single non-nullable one. *)
+          if n_not_nullable = 0 || (n_not_nullable = 1 && not nullable.(b))
+          then
+            reaches.(prod.Grammar.lhs) <-
+              Bitset.add reaches.(prod.Grammar.lhs) b)
+      rhs
+  done;
+  (* Transitive closure by fixpoint; nonterminal counts are small. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for a = 0 to n_nt - 1 do
+      let acc =
+        Bitset.fold
+          (fun b acc -> Bitset.union acc reaches.(b))
+          reaches.(a) reaches.(a)
+      in
+      if not (Bitset.equal acc reaches.(a)) then begin
+        reaches.(a) <- acc;
+        changed := true
+      end
+    done
+  done;
+  Array.init n_nt (fun a -> Bitset.mem reaches.(a) a)
+
 (* front_cost.(nt).(t): least total cost of a leftmost expansion
    nt =>* t . delta, where applying a production costs 1 and deriving a
    leading nonterminal to epsilon costs its null_cost. *)
@@ -315,11 +368,12 @@ let make g =
   let min_yield, min_yield_witness = compute_min_yield g in
   let min_length = compute_min_length g in
   let reachable = compute_reachable g in
+  let cyclic = compute_cyclic g nullable in
   let front_cost, front_witness = compute_front g nullable null_cost in
   let a =
     { grammar = g; nullable; null_cost; null_witness; first; min_yield;
-      min_yield_witness; min_length; reachable; front_cost; front_witness;
-      suffix_first = [||] }
+      min_yield_witness; min_length; reachable; cyclic; front_cost;
+      front_witness; suffix_first = [||] }
   in
   let suffix_first =
     Array.init (Grammar.n_productions g) (fun p ->

@@ -35,6 +35,13 @@ val reachable : t -> int -> bool
 val productive : t -> int -> bool
 (** Derives at least one (possibly empty) terminal string. *)
 
+val cyclic : t -> int -> bool
+(** Is the nonterminal on a derivation cycle [A =>+ A] (a chain of
+    productions that rederives the nonterminal with every sibling symbol
+    nullable)? Cyclic nonterminals give some sentences unboundedly many
+    parse trees, and the unifying counterexample search may fail to
+    terminate inside them. *)
+
 val min_yield : t -> int -> int option
 (** Cost of the cheapest sentence derivable from the nonterminal (number of
     terminals plus production applications); [None] if nonproductive. *)

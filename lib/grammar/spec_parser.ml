@@ -88,6 +88,9 @@ let parse_rule st lhs =
 
 let parse source =
   let st = { input = Spec_lexer.tokenize source } in
+  (* Accumulators are kept reversed and reversed once at the end; appending
+     with [@] per declaration line would be quadratic in the number of
+     [%token] lines (it rewalks the whole accumulated list each time). *)
   let tokens = ref [] in
   let prec_levels = ref [] in
   let start = ref None in
@@ -98,7 +101,10 @@ let parse source =
     | Spec_lexer.Eof -> ()
     | Spec_lexer.Directive "token" | Spec_lexer.Directive "term" ->
       advance st;
-      tokens := !tokens @ symbol_names_on_line st lexeme.Spec_lexer.line [];
+      tokens :=
+        List.rev_append
+          (symbol_names_on_line st lexeme.Spec_lexer.line [])
+          !tokens;
       go ()
     | Spec_lexer.Directive "start" ->
       advance st;
@@ -133,7 +139,7 @@ let parse source =
   in
   go ();
   Spec_ast.
-    { tokens = !tokens;
+    { tokens = List.rev !tokens;
       prec_levels = List.rev !prec_levels;
       start = !start;
       rules = List.rev !rules }

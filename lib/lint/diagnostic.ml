@@ -1,0 +1,50 @@
+open Cfg
+
+type severity =
+  | Error
+  | Warning
+  | Info
+
+type location =
+  | Grammar_wide
+  | Nonterminal of int
+  | Terminal of int
+  | Production of int
+  | Conflict_site of {
+      state : int;
+      terminal : int;
+    }
+
+type t = {
+  code : string;
+  severity : severity;
+  message : string;
+  location : location;
+}
+
+let severity_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let count severity ds =
+  List.length (List.filter (fun d -> d.severity = severity) ds)
+
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let pp_location g ppf = function
+  | Grammar_wide -> Fmt.string ppf "grammar"
+  | Nonterminal nt ->
+    Fmt.pf ppf "nonterminal %s" (Grammar.nonterminal_name g nt)
+  | Terminal t -> Fmt.pf ppf "terminal %s" (Grammar.terminal_name g t)
+  | Production p ->
+    Fmt.pf ppf "production %d (%a)" p (Grammar.pp_production g)
+      (Grammar.production g p)
+  | Conflict_site { state; terminal } ->
+    Fmt.pf ppf "state %d on %s" state (Grammar.terminal_name g terminal)
+
+let pp g ppf d =
+  Fmt.pf ppf "%s[%s] %a: %s" (severity_string d.severity) d.code
+    (pp_location g) d.location d.message
+
+let to_string g d = Fmt.str "%a" (pp g) d

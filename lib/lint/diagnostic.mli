@@ -1,0 +1,39 @@
+(** Structured lint diagnostics: machine-readable findings over a grammar
+    and its LALR(1) automaton, produced by the {!Lint} rule engine and
+    rendered as text here or as JSON by [Cex_service.Json_report]. *)
+
+open Cfg
+
+type severity =
+  | Error  (** a guaranteed defect (e.g. a certain ambiguity) *)
+  | Warning  (** a likely defect, or a construct that degrades the tooling *)
+  | Info  (** advisory; nothing is necessarily wrong *)
+
+type location =
+  | Grammar_wide
+  | Nonterminal of int
+  | Terminal of int
+  | Production of int
+  | Conflict_site of {
+      state : int;
+      terminal : int;
+    }  (** an automaton conflict: the LR state and the conflict symbol *)
+
+type t = {
+  code : string;  (** stable rule code, e.g. ["duplicate-production"] *)
+  severity : severity;
+  message : string;
+  location : location;
+}
+
+val severity_string : severity -> string
+(** ["error"], ["warning"], or ["info"]. *)
+
+val count : severity -> t list -> int
+val has_errors : t list -> bool
+
+val pp_location : Grammar.t -> Format.formatter -> location -> unit
+val pp : Grammar.t -> Format.formatter -> t -> unit
+(** [severity[code] location: message]. *)
+
+val to_string : Grammar.t -> t -> string

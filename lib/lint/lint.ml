@@ -1,0 +1,526 @@
+open Cfg
+open Automaton
+
+type group =
+  | Hygiene
+  | Conflicts
+
+type rule = {
+  code : string;
+  group : group;
+  default_severity : Diagnostic.severity;
+  doc : string;
+}
+
+(* Everything a rule may interrogate. All fields are precomputed by the
+   parse-table build, so assembling a context is allocation only. *)
+type context = {
+  grammar : Grammar.t;
+  analysis : Analysis.t;
+  lalr : Lalr.t;
+  conflicts : Conflict.t list;
+  resolved : (Conflict.t * Parse_table.resolution) list;
+}
+
+let diag code severity location fmt =
+  Fmt.kstr
+    (fun message -> { Diagnostic.code; severity; message; location })
+    fmt
+
+(* Nonterminal 0 is the augmented START and production 0 the augmented start
+   production; neither is the user's code, so rules skip both. *)
+let user_nonterminals g f =
+  let acc = ref [] in
+  for nt = Grammar.n_nonterminals g - 1 downto 1 do
+    match f nt with Some d -> acc := d :: !acc | None -> ()
+  done;
+  !acc
+
+let user_productions g f =
+  let acc = ref [] in
+  for p = Grammar.n_productions g - 1 downto 1 do
+    match f p with Some d -> acc := d :: !acc | None -> ()
+  done;
+  !acc
+
+let prod_text g p = Fmt.str "%a" (Grammar.pp_production g) p
+
+(* ------------------------------------------------------------------ *)
+(* Grammar hygiene. *)
+
+let unreachable_code = "unreachable-nonterminal"
+
+let check_unreachable ctx =
+  let g = ctx.grammar in
+  user_nonterminals g (fun nt ->
+      if Analysis.reachable ctx.analysis nt then None
+      else
+        Some
+          (diag unreachable_code Diagnostic.Warning
+             (Diagnostic.Nonterminal nt)
+             "no derivation from the start symbol %s reaches it; its \
+              productions are dead"
+             (Grammar.nonterminal_name g (Grammar.start g))))
+
+let unproductive_code = "unproductive-nonterminal"
+
+let check_unproductive ctx =
+  let g = ctx.grammar in
+  user_nonterminals g (fun nt ->
+      if Analysis.productive ctx.analysis nt then None
+      else
+        let reachable = Analysis.reachable ctx.analysis nt in
+        let severity =
+          if reachable then Diagnostic.Error else Diagnostic.Warning
+        in
+        Some
+          (diag unproductive_code severity (Diagnostic.Nonterminal nt)
+             "derives no terminal string%s"
+             (if reachable then
+                "; the parser can enter it but no parse can ever complete"
+              else " (and is unreachable)")))
+
+let useless_production_code = "useless-production"
+
+let check_useless_production ctx =
+  let g = ctx.grammar in
+  user_productions g (fun p ->
+      let prod = Grammar.production g p in
+      (* Restrict to productive left-hand sides: a fully unproductive
+         nonterminal is already reported wholesale by the rule above. *)
+      if not (Analysis.productive ctx.analysis prod.Grammar.lhs) then None
+      else
+        let dead =
+          Array.to_list prod.Grammar.rhs
+          |> List.find_opt (function
+               | Symbol.Terminal _ -> false
+               | Symbol.Nonterminal nt ->
+                 not (Analysis.productive ctx.analysis nt))
+        in
+        match dead with
+        | Some (Symbol.Nonterminal nt) ->
+          Some
+            (diag useless_production_code Diagnostic.Warning
+               (Diagnostic.Production p)
+               "can never be reduced: %s in its right-hand side derives no \
+                terminal string"
+               (Grammar.nonterminal_name g nt))
+        | _ -> None)
+
+let unused_terminal_code = "unused-terminal"
+
+let check_unused_terminal ctx =
+  let g = ctx.grammar in
+  let used = Array.make (Grammar.n_terminals g) false in
+  used.(0) <- true;
+  for p = 0 to Grammar.n_productions g - 1 do
+    let prod = Grammar.production g p in
+    Array.iter
+      (function Symbol.Terminal t -> used.(t) <- true | _ -> ())
+      prod.Grammar.rhs;
+    Option.iter (fun t -> used.(t) <- true) prod.Grammar.prec_tag
+  done;
+  let acc = ref [] in
+  for t = Grammar.n_terminals g - 1 downto 1 do
+    if not used.(t) then
+      acc :=
+        diag unused_terminal_code Diagnostic.Warning (Diagnostic.Terminal t)
+          "declared (via %%token or a precedence level) but used in no \
+           production"
+        :: !acc
+  done;
+  !acc
+
+(* Structural right-hand-side key: symbol identity, not names. *)
+let rhs_key rhs =
+  String.concat ","
+    (List.map
+       (function
+         | Symbol.Terminal t -> "t" ^ string_of_int t
+         | Symbol.Nonterminal nt -> "n" ^ string_of_int nt)
+       (Array.to_list rhs))
+
+let duplicate_production_code = "duplicate-production"
+
+let check_duplicate_production ctx =
+  let g = ctx.grammar in
+  let seen : (int * string, int) Hashtbl.t = Hashtbl.create 64 in
+  user_productions g (fun p ->
+      let prod = Grammar.production g p in
+      let key = (prod.Grammar.lhs, rhs_key prod.Grammar.rhs) in
+      match Hashtbl.find_opt seen key with
+      | Some first ->
+        Some
+          (diag duplicate_production_code Diagnostic.Error
+             (Diagnostic.Production p)
+             "identical to production %d (%s): a guaranteed reduce/reduce \
+              ambiguity"
+             first
+             (prod_text g (Grammar.production g first)))
+      | None ->
+        Hashtbl.add seen key p;
+        None)
+
+let overlapping_production_code = "overlapping-production"
+
+let check_overlapping_production ctx =
+  let g = ctx.grammar in
+  (* All earlier productions sharing a right-hand side, by key; right-hand
+     sides shorter than two symbols are excluded (epsilon alternatives of
+     distinct optional nonterminals and unit chain productions [A ::= B] are
+     idiomatic, not suspicious). *)
+  let seen : (string, (int * int) list) Hashtbl.t = Hashtbl.create 64 in
+  user_productions g (fun p ->
+      let prod = Grammar.production g p in
+      if Array.length prod.Grammar.rhs < 2 then None
+      else begin
+        let key = rhs_key prod.Grammar.rhs in
+        let earlier = Option.value ~default:[] (Hashtbl.find_opt seen key) in
+        Hashtbl.replace seen key ((p, prod.Grammar.lhs) :: earlier);
+        match
+          List.rev earlier
+          |> List.find_opt (fun (_, lhs) -> lhs <> prod.Grammar.lhs)
+        with
+        | Some (first, first_lhs) ->
+          Some
+            (diag overlapping_production_code Diagnostic.Warning
+               (Diagnostic.Production p)
+               "same right-hand side as production %d of %s; under a shared \
+                lookahead the parser cannot choose which to reduce"
+               first
+               (Grammar.nonterminal_name g first_lhs))
+        | None -> None
+      end)
+
+let cyclic_code = "cyclic-nonterminal"
+
+let check_cyclic ctx =
+  let g = ctx.grammar in
+  user_nonterminals g (fun nt ->
+      if not (Analysis.cyclic ctx.analysis nt) then None
+      else
+        let name = Grammar.nonterminal_name g nt in
+        Some
+          (diag cyclic_code Diagnostic.Warning (Diagnostic.Nonterminal nt)
+             "derives itself (%s =>+ %s): parse trees can nest unboundedly \
+              and the unifying counterexample search may not terminate"
+             name name))
+
+let nullable_injection_code = "nullable-injection"
+
+let erase_nullable analysis rhs =
+  rhs_key
+    (Array.of_list
+       (List.filter
+          (fun s -> not (Analysis.nullable_symbol analysis s))
+          (Array.to_list rhs)))
+
+let check_nullable_injection ctx =
+  let g = ctx.grammar in
+  (* Two distinct alternatives of one nonterminal that agree after erasing
+     nullable nonterminals derive the same phrase whenever the erased
+     nonterminals go to epsilon: the BV10 nullable-injection shape, a
+     guaranteed ambiguity. Each production is reported against the earliest
+     alternative sharing its erased form. *)
+  let seen : (int * string, int) Hashtbl.t = Hashtbl.create 64 in
+  for p = 1 to Grammar.n_productions g - 1 do
+    let prod = Grammar.production g p in
+    let erased = erase_nullable ctx.analysis prod.Grammar.rhs in
+    if not (Hashtbl.mem seen (prod.Grammar.lhs, erased)) then
+      Hashtbl.add seen (prod.Grammar.lhs, erased) p
+  done;
+  user_productions g (fun p ->
+      let prod = Grammar.production g p in
+      let erased = erase_nullable ctx.analysis prod.Grammar.rhs in
+      match Hashtbl.find_opt seen (prod.Grammar.lhs, erased) with
+      | Some first
+        when first <> p
+             && not
+                  (String.equal
+                     (rhs_key (Grammar.production g first).Grammar.rhs)
+                     (rhs_key prod.Grammar.rhs)) ->
+        Some
+          (diag nullable_injection_code Diagnostic.Error
+             (Diagnostic.Production p)
+             "differs from production %d (%s) only by nullable nonterminals: \
+              when they derive the empty string both alternatives parse the \
+              same phrase (BV10 nullable injection)"
+             first
+             (prod_text g (Grammar.production g first)))
+      | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Conflict classification. *)
+
+let unclassified = "unclassified"
+let dangling_else_code = "dangling-else"
+let prec_resolvable_code = "prec-resolvable"
+let rr_overlap_code = "rr-overlap"
+
+let rightmost_terminal (p : Grammar.production) =
+  let rec go i =
+    if i < 0 then None
+    else
+      match p.Grammar.rhs.(i) with
+      | Symbol.Terminal t -> Some t
+      | Symbol.Nonterminal _ -> go (i - 1)
+  in
+  go (Array.length p.Grammar.rhs - 1)
+
+(* The paper's section 2 running example: the reduce item's whole right-hand
+   side is a prefix of the shift item's production for the same nonterminal,
+   and the conflict terminal both continues the longer production and (being
+   in the reduce item's lookahead) follows the shorter one. *)
+let is_dangling_else g (c : Conflict.t) =
+  match c.Conflict.kind with
+  | Conflict.Reduce_reduce _ -> false
+  | Conflict.Shift_reduce { shift_item; reduce_item } ->
+    let rp = Item.production g reduce_item in
+    let sp = Item.production g shift_item in
+    rp.Grammar.lhs = sp.Grammar.lhs
+    && Array.length sp.Grammar.rhs > Array.length rp.Grammar.rhs
+    && shift_item.Item.dot = Array.length rp.Grammar.rhs
+    && (let shared = ref true in
+        Array.iteri
+          (fun i s ->
+            if not (Symbol.equal s sp.Grammar.rhs.(i)) then shared := false)
+          rp.Grammar.rhs;
+        !shared)
+
+(* Both reductions fire on an identical right-hand side: the parser's stack
+   cannot distinguish them, whatever the lookahead. *)
+let is_rr_overlap g (c : Conflict.t) =
+  match c.Conflict.kind with
+  | Conflict.Shift_reduce _ -> false
+  | Conflict.Reduce_reduce { reduce1; reduce2; _ } ->
+    let p1 = Item.production g reduce1 in
+    let p2 = Item.production g reduce2 in
+    String.equal (rhs_key p1.Grammar.rhs) (rhs_key p2.Grammar.rhs)
+
+(* An operator-style shift/reduce conflict: the reduce production can carry a
+   precedence (it has a rightmost terminal, or an explicit %prec tag), so
+   yacc-style precedence/associativity declarations on it and the conflict
+   terminal would settle the conflict silently. *)
+let is_prec_resolvable g (c : Conflict.t) =
+  match c.Conflict.kind with
+  | Conflict.Reduce_reduce _ -> false
+  | Conflict.Shift_reduce { reduce_item; _ } ->
+    let rp = Item.production g reduce_item in
+    rp.Grammar.prec_tag <> None || rightmost_terminal rp <> None
+
+let classify lalr c =
+  let g = Lalr.grammar lalr in
+  if is_dangling_else g c then Some dangling_else_code
+  else if is_rr_overlap g c then Some rr_overlap_code
+  else if is_prec_resolvable g c then Some prec_resolvable_code
+  else None
+
+let classification lalr c =
+  Option.value ~default:unclassified (classify lalr c)
+
+let conflict_location (c : Conflict.t) =
+  Diagnostic.Conflict_site
+    { state = c.Conflict.state; terminal = c.Conflict.terminal }
+
+let classified_conflicts ctx code =
+  List.filter (fun c -> classification ctx.lalr c = code) ctx.conflicts
+
+let check_dangling_else ctx =
+  let g = ctx.grammar in
+  List.map
+    (fun (c : Conflict.t) ->
+      let rp = Item.production g (Conflict.reduce_item c) in
+      diag dangling_else_code Diagnostic.Warning (conflict_location c)
+        "dangling-else shift/reduce pattern: %s is both a continuation of \
+         the shifted production and a follower of the reduced one; prefer \
+         the shift (innermost binding) or factor matched/unmatched %s forms"
+        (Grammar.terminal_name g c.Conflict.terminal)
+        (Grammar.nonterminal_name g rp.Grammar.lhs))
+    (classified_conflicts ctx dangling_else_code)
+
+let check_prec_resolvable ctx =
+  let g = ctx.grammar in
+  List.map
+    (fun (c : Conflict.t) ->
+      let rp = Item.production g (Conflict.reduce_item c) in
+      let on = Grammar.terminal_name g c.Conflict.terminal in
+      let hint =
+        match Grammar.production_prec g rp with
+        | Some _ ->
+          Fmt.str "declare a precedence for %s (e.g. %%left %s)" on on
+        | None -> (
+          match rightmost_terminal rp with
+          | Some t when t = c.Conflict.terminal ->
+            Fmt.str "declare an associativity for %s (e.g. %%left %s)" on on
+          | Some t ->
+            Fmt.str "declare precedences for %s and %s"
+              (Grammar.terminal_name g t)
+              on
+          | None -> Fmt.str "attach %%prec to the reduced production")
+      in
+      diag prec_resolvable_code Diagnostic.Warning (conflict_location c)
+        "shift/reduce conflict resolvable by precedence/associativity: %s"
+        hint)
+    (classified_conflicts ctx prec_resolvable_code)
+
+let check_rr_overlap ctx =
+  let g = ctx.grammar in
+  List.map
+    (fun (c : Conflict.t) ->
+      let p1 = Item.production g (Conflict.reduce_item c) in
+      let p2 = Item.production g (Conflict.other_item c) in
+      diag rr_overlap_code Diagnostic.Warning (conflict_location c)
+        "reduce/reduce conflict between identical right-hand sides of %s \
+         and %s; merge the nonterminals or factor the shared phrase out"
+        (Grammar.nonterminal_name g p1.Grammar.lhs)
+        (Grammar.nonterminal_name g p2.Grammar.lhs))
+    (classified_conflicts ctx rr_overlap_code)
+
+let precedence_resolved_code = "precedence-resolved"
+
+(* Bison's -Wprecedence concern: precedence/associativity declarations settle
+   shift/reduce decisions without a trace in the conflict report, and a wrong
+   level silently parses the wrong tree. Surface each silent decision. *)
+let check_precedence_resolved ctx =
+  let g = ctx.grammar in
+  List.map
+    (fun ((c : Conflict.t), resolution) ->
+      diag precedence_resolved_code Diagnostic.Info (conflict_location c)
+        "shift/reduce decision on %s settled silently %s; lrcex analyze \
+         --resolved shows the ambiguity it resolves"
+        (Grammar.terminal_name g c.Conflict.terminal)
+        (match resolution with
+        | Parse_table.Resolved_shift -> "in favour of the shift"
+        | Parse_table.Resolved_reduce -> "in favour of the reduction"
+        | Parse_table.Resolved_error -> "as a syntax error (nonassociative)"))
+    ctx.resolved
+
+let check_unclassified ctx =
+  List.map
+    (fun (c : Conflict.t) ->
+      diag unclassified Diagnostic.Info (conflict_location c)
+        "%s conflict matches no static pattern; read its counterexample \
+         (lrcex analyze)"
+        (if Conflict.is_shift_reduce c then "shift/reduce"
+         else "reduce/reduce"))
+    (classified_conflicts ctx unclassified)
+
+(* ------------------------------------------------------------------ *)
+(* Registry. *)
+
+let registry : (rule * (context -> Diagnostic.t list)) list =
+  [ ( { code = unreachable_code; group = Hygiene;
+        default_severity = Diagnostic.Warning;
+        doc = "nonterminal unreachable from the start symbol" },
+      check_unreachable );
+    ( { code = unproductive_code; group = Hygiene;
+        default_severity = Diagnostic.Error;
+        doc = "nonterminal derives no terminal string" },
+      check_unproductive );
+    ( { code = useless_production_code; group = Hygiene;
+        default_severity = Diagnostic.Warning;
+        doc = "production mentions an unproductive nonterminal" },
+      check_useless_production );
+    ( { code = unused_terminal_code; group = Hygiene;
+        default_severity = Diagnostic.Warning;
+        doc = "terminal declared but used in no production" },
+      check_unused_terminal );
+    ( { code = duplicate_production_code; group = Hygiene;
+        default_severity = Diagnostic.Error;
+        doc = "production declared twice (guaranteed reduce/reduce)" },
+      check_duplicate_production );
+    ( { code = overlapping_production_code; group = Hygiene;
+        default_severity = Diagnostic.Warning;
+        doc = "identical right-hand sides under two nonterminals" },
+      check_overlapping_production );
+    ( { code = cyclic_code; group = Hygiene;
+        default_severity = Diagnostic.Warning;
+        doc = "nonterminal derives itself (A =>+ A)" },
+      check_cyclic );
+    ( { code = nullable_injection_code; group = Hygiene;
+        default_severity = Diagnostic.Error;
+        doc = "alternatives identical modulo nullable nonterminals (BV10)" },
+      check_nullable_injection );
+    ( { code = dangling_else_code; group = Conflicts;
+        default_severity = Diagnostic.Warning;
+        doc = "dangling-else shift/reduce pattern" },
+      check_dangling_else );
+    ( { code = rr_overlap_code; group = Conflicts;
+        default_severity = Diagnostic.Warning;
+        doc = "reduce/reduce between identical right-hand sides" },
+      check_rr_overlap );
+    ( { code = prec_resolvable_code; group = Conflicts;
+        default_severity = Diagnostic.Warning;
+        doc = "conflict resolvable by precedence/associativity" },
+      check_prec_resolvable );
+    ( { code = precedence_resolved_code; group = Conflicts;
+        default_severity = Diagnostic.Info;
+        doc = "shift/reduce decision settled silently by precedence" },
+      check_precedence_resolved );
+    ( { code = unclassified; group = Conflicts;
+        default_severity = Diagnostic.Info;
+        doc = "conflict matching no static pattern" },
+      check_unclassified ) ]
+
+let rules = List.map fst registry
+
+let find_rule code = List.find_opt (fun r -> String.equal r.code code) rules
+
+let check_codes codes =
+  match List.find_opt (fun c -> find_rule c = None) codes with
+  | None -> Ok ()
+  | Some unknown ->
+    Error
+      (Fmt.str "unknown lint rule %S (known: %s)" unknown
+         (String.concat ", " (List.map (fun r -> r.code) rules)))
+
+let context table =
+  let lalr = Parse_table.lalr table in
+  { grammar = Parse_table.grammar table;
+    analysis = Lalr.analysis lalr;
+    lalr;
+    conflicts = Parse_table.conflicts table;
+    resolved = Parse_table.resolved_conflicts table }
+
+let enabled_p ?(enable = []) ?(disable = []) () code =
+  (enable = [] || List.mem code enable) && not (List.mem code disable)
+
+let run ?enable ?disable table =
+  let ctx = context table in
+  let keep = enabled_p ?enable ?disable () in
+  List.concat_map
+    (fun (r, check) -> if keep r.code then check ctx else [])
+    registry
+
+type report = {
+  diagnostics : Diagnostic.t list;
+  classifications : (Conflict.t * string) list;
+}
+
+let report ?enable ?disable table =
+  let ctx = context table in
+  { diagnostics = run ?enable ?disable table;
+    classifications =
+      List.map (fun c -> (c, classification ctx.lalr c)) ctx.conflicts }
+
+let pp_report g ppf r =
+  let errors = Diagnostic.count Diagnostic.Error r.diagnostics in
+  let warnings = Diagnostic.count Diagnostic.Warning r.diagnostics in
+  let n = List.length r.diagnostics in
+  if n = 0 then Fmt.pf ppf "no lint diagnostics@,"
+  else
+    Fmt.pf ppf "%d diagnostic%s (%d error%s, %d warning%s)@," n
+      (if n = 1 then "" else "s")
+      errors
+      (if errors = 1 then "" else "s")
+      warnings
+      (if warnings = 1 then "" else "s");
+  List.iter (fun d -> Fmt.pf ppf "  %a@," (Diagnostic.pp g) d) r.diagnostics;
+  List.iter
+    (fun ((c : Conflict.t), code) ->
+      Fmt.pf ppf "  conflict state %d on %s (%s): %s@," c.Conflict.state
+        (Grammar.terminal_name g c.Conflict.terminal)
+        (if Conflict.is_shift_reduce c then "shift/reduce"
+         else "reduce/reduce")
+        code)
+    r.classifications

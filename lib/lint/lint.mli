@@ -1,0 +1,82 @@
+(** The grammar lint engine: rule-based static analysis over a grammar and
+    its LALR(1) automaton.
+
+    Rules fall into two groups (the full catalog is {!rules}):
+
+    - {e grammar hygiene} — defects visible in the grammar and its static
+      analyses alone: unreachable and unproductive nonterminals, useless
+      productions, unused declared terminals, duplicate and overlapping
+      productions, derivation cycles [A =>+ A], and the BV10
+      nullable-injection shape (two alternatives identical modulo nullable
+      nonterminals);
+    - {e conflict classification} — every conflict surviving precedence
+      resolution is matched against statically recognizable patterns: the
+      dangling-else shift/reduce shape (the paper's section 2 running
+      example), precedence/associativity-resolvable operator conflicts, and
+      reduce/reduce conflicts between identical right-hand sides. Conflicts
+      matching no pattern are classified {!unclassified}.
+
+    Every rule is static: no counterexample search runs, so a lint pass
+    costs one automaton construction. Diagnostics come back in a
+    deterministic order (hygiene rules in catalog order, then conflicts in
+    automaton order), which makes lint output suitable for golden-file
+    comparison. *)
+
+open Cfg
+open Automaton
+
+type group =
+  | Hygiene
+  | Conflicts
+
+type rule = {
+  code : string;  (** stable identifier, used for enable/disable *)
+  group : group;
+  default_severity : Diagnostic.severity;
+      (** typical severity; individual diagnostics may escalate (e.g. an
+          unproductive nonterminal that is also reachable) *)
+  doc : string;  (** one-line catalog description *)
+}
+
+val rules : rule list
+(** The registry, in catalog (and diagnostic-emission) order. *)
+
+val find_rule : string -> rule option
+
+val check_codes : string list -> (unit, string) result
+(** Validate user-supplied rule codes; [Error] names the first unknown. *)
+
+(** {1 Conflict classification} *)
+
+val unclassified : string
+(** ["unclassified"]: the conflict matches no known static pattern. *)
+
+val classify : Lalr.t -> Conflict.t -> string option
+(** The conflict-group rule code the conflict matches, if any, by pattern
+    priority (dangling-else, then identical-rhs reduce/reduce, then
+    precedence-resolvable). *)
+
+val classification : Lalr.t -> Conflict.t -> string
+(** {!classify}, with [None] mapped to {!unclassified}. *)
+
+(** {1 Running the engine} *)
+
+val run :
+  ?enable:string list -> ?disable:string list -> Parse_table.t ->
+  Diagnostic.t list
+(** Run every rule ([enable = []] means all) except those in [disable].
+    Unknown codes are ignored; validate with {!check_codes} first. *)
+
+type report = {
+  diagnostics : Diagnostic.t list;
+  classifications : (Conflict.t * string) list;
+      (** every automaton conflict with its classification code (a
+          conflict-group rule code, or {!unclassified}) *)
+}
+
+val report :
+  ?enable:string list -> ?disable:string list -> Parse_table.t -> report
+
+val pp_report : Grammar.t -> Format.formatter -> report -> unit
+(** Text renderer: one line per diagnostic, then one per conflict
+    classification. *)

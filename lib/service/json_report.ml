@@ -1,6 +1,8 @@
 open Cfg
 open Automaton
 
+let schema_version = 2
+
 let outcome_string = function
   | Cex.Driver.Found_unifying -> "found_unifying"
   | Cex.Driver.No_unifying_exists -> "no_unifying_exists"
@@ -11,6 +13,43 @@ let symbols g syms =
   Json.List (List.map (fun s -> Json.String (Grammar.symbol_name g s)) syms)
 
 let item_string g item = Fmt.str "%a" (Item.pp g) item
+
+let location_to_json g = function
+  | Cex_lint.Diagnostic.Grammar_wide -> Json.Obj [ ("kind", Json.String "grammar") ]
+  | Cex_lint.Diagnostic.Nonterminal nt ->
+    Json.Obj
+      [ ("kind", Json.String "nonterminal");
+        ("nonterminal", Json.String (Grammar.nonterminal_name g nt)) ]
+  | Cex_lint.Diagnostic.Terminal t ->
+    Json.Obj
+      [ ("kind", Json.String "terminal");
+        ("terminal", Json.String (Grammar.terminal_name g t)) ]
+  | Cex_lint.Diagnostic.Production p ->
+    Json.Obj
+      [ ("kind", Json.String "production");
+        ("production", Json.Int p);
+        ( "text",
+          Json.String
+            (Fmt.str "%a" (Grammar.pp_production g) (Grammar.production g p)) )
+      ]
+  | Cex_lint.Diagnostic.Conflict_site { state; terminal } ->
+    Json.Obj
+      [ ("kind", Json.String "conflict");
+        ("state", Json.Int state);
+        ("terminal", Json.String (Grammar.terminal_name g terminal)) ]
+
+let diagnostic_to_json g (d : Cex_lint.Diagnostic.t) =
+  Json.Obj
+    [ ("code", Json.String d.Cex_lint.Diagnostic.code);
+      ( "severity",
+        Json.String
+          (Cex_lint.Diagnostic.severity_string d.Cex_lint.Diagnostic.severity)
+      );
+      ("message", Json.String d.Cex_lint.Diagnostic.message);
+      ("location", location_to_json g d.Cex_lint.Diagnostic.location) ]
+
+let diagnostics_to_json g diags =
+  Json.List (List.map (diagnostic_to_json g) diags)
 
 let counterexample_to_json g = function
   | Cex.Driver.Unifying u ->
@@ -42,6 +81,7 @@ let conflict_to_json g (cr : Cex.Driver.conflict_report) =
         Json.String
           (if Conflict.is_shift_reduce c then "shift_reduce"
            else "reduce_reduce") );
+      ("classification", Json.String cr.Cex.Driver.classification);
       ("reduce_item", Json.String (item_string g (Conflict.reduce_item c)));
       ("other_item", Json.String (item_string g (Conflict.other_item c)));
       ("outcome", Json.String (outcome_string cr.Cex.Driver.outcome));
@@ -52,7 +92,8 @@ let conflict_to_json g (cr : Cex.Driver.conflict_report) =
         | Some cex -> counterexample_to_json g cex
         | None -> Json.Null ) ]
 
-let report_to_json ?name ?digest ?from_cache (r : Cex.Driver.report) =
+let report_to_json ?name ?digest ?from_cache ?diagnostics
+    (r : Cex.Driver.report) =
   let g = Cex.Driver.grammar r in
   let opt label value rest =
     match value with Some v -> (label, v) :: rest | None -> rest
@@ -61,19 +102,21 @@ let report_to_json ?name ?digest ?from_cache (r : Cex.Driver.report) =
     (opt "grammar" (Option.map (fun n -> Json.String n) name)
        (opt "digest" (Option.map (fun d -> Json.String d) digest)
           (opt "from_cache" (Option.map (fun b -> Json.Bool b) from_cache)
-             [ ( "summary",
-                 Json.Obj
-                   [ ( "conflicts",
-                       Json.Int (List.length r.Cex.Driver.conflict_reports) );
-                     ("unifying", Json.Int (Cex.Driver.n_unifying r));
-                     ("nonunifying", Json.Int (Cex.Driver.n_nonunifying r));
-                     ("timeouts", Json.Int (Cex.Driver.n_timeout r));
-                     ("total_elapsed", Json.Float r.Cex.Driver.total_elapsed)
-                   ] );
-               ( "conflicts",
-                 Json.List
-                   (List.map (conflict_to_json g) r.Cex.Driver.conflict_reports)
-               ) ])))
+             (( "summary",
+                Json.Obj
+                  [ ( "conflicts",
+                      Json.Int (List.length r.Cex.Driver.conflict_reports) );
+                    ("unifying", Json.Int (Cex.Driver.n_unifying r));
+                    ("nonunifying", Json.Int (Cex.Driver.n_nonunifying r));
+                    ("timeouts", Json.Int (Cex.Driver.n_timeout r));
+                    ("total_elapsed", Json.Float r.Cex.Driver.total_elapsed) ]
+              )
+             :: opt "diagnostics"
+                  (Option.map (diagnostics_to_json g) diagnostics)
+                  [ ( "conflicts",
+                      Json.List
+                        (List.map (conflict_to_json g)
+                           r.Cex.Driver.conflict_reports) ) ]))))
 
 let counters_to_json (c : Cache.counters) =
   Json.Obj
@@ -103,15 +146,115 @@ let stats_to_json (s : Stats.summary) =
                 Option.fold ~none:Json.Null ~some:counters_to_json reports )
             ] ) ]
 
-let batch_to_json ?stats results =
+let batch_to_json ?stats ?lint results =
+  let lint =
+    match lint with
+    | Some l when List.length l = List.length results -> l
+    | _ -> List.map (fun _ -> None) results
+  in
   Json.Obj
-    [ ("schema_version", Json.Int 1);
+    [ ("schema_version", Json.Int schema_version);
       ( "stats",
         Option.fold ~none:Json.Null ~some:stats_to_json stats );
       ( "grammars",
         Json.List
-          (List.map
-             (fun (r : Scheduler.batch_result) ->
+          (List.map2
+             (fun (r : Scheduler.batch_result) diagnostics ->
                report_to_json ~name:r.Scheduler.name ~digest:r.Scheduler.digest
-                 ~from_cache:r.Scheduler.from_cache r.Scheduler.report)
-             results) ) ]
+                 ~from_cache:r.Scheduler.from_cache ?diagnostics
+                 r.Scheduler.report)
+             results lint) ) ]
+
+(* The lint document: a grammar-by-grammar dump of diagnostics and conflict
+   classifications. No timings appear anywhere, so rendering this document is
+   byte-deterministic — the committed golden transcript relies on that. *)
+let lint_to_json entries =
+  let severity_total sev =
+    List.fold_left
+      (fun n (_, _, (rep : Cex_lint.Lint.report)) ->
+        n + Cex_lint.Diagnostic.count sev rep.Cex_lint.Lint.diagnostics)
+      0 entries
+  in
+  let code_totals =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (_, _, (rep : Cex_lint.Lint.report)) ->
+        List.iter
+          (fun (d : Cex_lint.Diagnostic.t) ->
+            let code = d.Cex_lint.Diagnostic.code in
+            Hashtbl.replace tbl code
+              (1 + Option.value ~default:0 (Hashtbl.find_opt tbl code)))
+          rep.Cex_lint.Lint.diagnostics)
+      entries;
+    (* catalog order keeps the summary stable *)
+    List.filter_map
+      (fun (r : Cex_lint.Lint.rule) ->
+        Option.map
+          (fun n -> (r.Cex_lint.Lint.code, Json.Int n))
+          (Hashtbl.find_opt tbl r.Cex_lint.Lint.code))
+      Cex_lint.Lint.rules
+  in
+  let n_conflicts =
+    List.fold_left
+      (fun n (_, _, (rep : Cex_lint.Lint.report)) ->
+        n + List.length rep.Cex_lint.Lint.classifications)
+      0 entries
+  in
+  let n_unclassified =
+    List.fold_left
+      (fun n (_, _, (rep : Cex_lint.Lint.report)) ->
+        n
+        + List.length
+            (List.filter
+               (fun (_, code) -> code = Cex_lint.Lint.unclassified)
+               rep.Cex_lint.Lint.classifications))
+      0 entries
+  in
+  let n_diagnostics =
+    List.fold_left
+      (fun n (_, _, (rep : Cex_lint.Lint.report)) ->
+        n + List.length rep.Cex_lint.Lint.diagnostics)
+      0 entries
+  in
+  let grammar_to_json (name, table, (rep : Cex_lint.Lint.report)) =
+    let g = Parse_table.grammar table in
+    Json.Obj
+      [ ("grammar", Json.String name);
+        ( "errors",
+          Json.Int
+            (Cex_lint.Diagnostic.count Cex_lint.Diagnostic.Error
+               rep.Cex_lint.Lint.diagnostics) );
+        ( "warnings",
+          Json.Int
+            (Cex_lint.Diagnostic.count Cex_lint.Diagnostic.Warning
+               rep.Cex_lint.Lint.diagnostics) );
+        ("diagnostics", diagnostics_to_json g rep.Cex_lint.Lint.diagnostics);
+        ( "conflicts",
+          Json.List
+            (List.map
+               (fun ((c : Conflict.t), code) ->
+                 Json.Obj
+                   [ ("state", Json.Int c.Conflict.state);
+                     ( "terminal",
+                       Json.String
+                         (Grammar.terminal_name g c.Conflict.terminal) );
+                     ( "kind",
+                       Json.String
+                         (if Conflict.is_shift_reduce c then "shift_reduce"
+                          else "reduce_reduce") );
+                     ("classification", Json.String code) ])
+               rep.Cex_lint.Lint.classifications) ) ]
+  in
+  Json.Obj
+    [ ("schema_version", Json.Int schema_version);
+      ( "summary",
+        Json.Obj
+          [ ("grammars", Json.Int (List.length entries));
+            ("diagnostics", Json.Int n_diagnostics);
+            ("errors", Json.Int (severity_total Cex_lint.Diagnostic.Error));
+            ("warnings", Json.Int (severity_total Cex_lint.Diagnostic.Warning));
+            ("infos", Json.Int (severity_total Cex_lint.Diagnostic.Info));
+            ("conflicts", Json.Int n_conflicts);
+            ("unclassified_conflicts", Json.Int n_unclassified);
+            ("codes", Json.Obj code_totals) ] );
+      ("grammars", Json.List (List.map grammar_to_json entries)) ]

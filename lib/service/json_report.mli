@@ -1,10 +1,10 @@
 (** JSON serialization of analysis results for machine consumption
-    ([lrcex --json], [lrcex batch --json]).
+    ([lrcex --json], [lrcex batch --json], [lrcex lint --json]).
 
-    Schema sketch (stable keys, see the golden test):
+    Schema sketch (stable keys, see the golden tests):
 
     {v
-    { "schema_version": 1,
+    { "schema_version": 2,
       "stats": { "jobs", "grammars", "conflicts", "wall_seconds",
                  "max_queue_depth", "stages": {...},
                  "cache": { "tables": {"hits","misses","evictions"},
@@ -13,28 +13,64 @@
         { "grammar", "digest", "from_cache",
           "summary": { "conflicts", "unifying", "nonunifying", "timeouts",
                        "total_elapsed" },
+          "diagnostics": [ ... ],            // only with --lint
           "conflicts": [
-            { "state", "terminal", "kind", "reduce_item", "other_item",
+            { "state", "terminal", "kind", "classification",
+              "reduce_item", "other_item",
               "outcome", "elapsed", "configs_explored",
               "counterexample": null
                 | { "type": "unifying", "nonterminal", "form",
                     "derivation_reduce", "derivation_other" }
                 | { "type": "nonunifying", "prefix",
                     "reduce_continuation", "other_continuation" } } ] } ] }
+    v}
+
+    The lint document ({!lint_to_json}) shares ["schema_version"] and the
+    diagnostic object shape:
+
+    {v
+    { "schema_version": 2,
+      "summary": { "grammars", "diagnostics", "errors", "warnings", "infos",
+                   "conflicts", "unclassified_conflicts",
+                   "codes": { "<rule-code>": count, ... } },
+      "grammars": [
+        { "grammar", "errors", "warnings",
+          "diagnostics": [
+            { "code", "severity", "message",
+              "location": { "kind", ... } } ],
+          "conflicts": [
+            { "state", "terminal", "kind", "classification" } ] } ] }
     v} *)
+
+val schema_version : int
+(** Version 2: conflict objects carry a ["classification"], grammar objects
+    may carry a ["diagnostics"] array, and the lint document exists. *)
 
 val outcome_string : Cex.Driver.outcome -> string
 (** ["found_unifying"], ["no_unifying_exists"], ["search_timeout"],
     ["skipped_search"]. *)
 
+val diagnostic_to_json : Cfg.Grammar.t -> Cex_lint.Diagnostic.t -> Json.t
+val diagnostics_to_json : Cfg.Grammar.t -> Cex_lint.Diagnostic.t list -> Json.t
+
 val conflict_to_json : Cfg.Grammar.t -> Cex.Driver.conflict_report -> Json.t
 
 val report_to_json :
-  ?name:string -> ?digest:string -> ?from_cache:bool -> Cex.Driver.report ->
+  ?name:string -> ?digest:string -> ?from_cache:bool ->
+  ?diagnostics:Cex_lint.Diagnostic.t list -> Cex.Driver.report ->
   Json.t
 
 val stats_to_json : Stats.summary -> Json.t
 
 val batch_to_json :
-  ?stats:Stats.summary -> Scheduler.batch_result list -> Json.t
-(** The full service response: [stats] plus one report object per grammar. *)
+  ?stats:Stats.summary -> ?lint:Cex_lint.Diagnostic.t list option list ->
+  Scheduler.batch_result list -> Json.t
+(** The full service response: [stats] plus one report object per grammar.
+    [lint], when given, must align with the result list; [Some diags]
+    entries embed a ["diagnostics"] array in that grammar's object. *)
+
+val lint_to_json :
+  (string * Automaton.Parse_table.t * Cex_lint.Lint.report) list -> Json.t
+(** The [lrcex lint --json] document over named grammars. Fully
+    deterministic (no timings), so its rendering doubles as the committed
+    golden lint transcript. *)

@@ -14,6 +14,7 @@ let () =
       Test_nonunifying.suite;
       Test_unifying.suite;
       Test_report.suite;
+      Test_lint.suite;
       Test_driver.suite;
       Test_service.suite;
       Test_baselines.suite;

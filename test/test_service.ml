@@ -189,7 +189,7 @@ let test_json_parser () =
 
 let golden =
   {|{
-  "schema_version": 1,
+  "schema_version": 2,
   "stats": {
     "jobs": 1,
     "grammars": 1,
@@ -230,6 +230,7 @@ let golden =
           "state": 7,
           "terminal": "ELSE",
           "kind": "shift_reduce",
+          "classification": "dangling-else",
           "reduce_item": "stmt ::= IF expr THEN stmt •",
           "other_item": "stmt ::= IF expr THEN stmt • ELSE stmt",
           "outcome": "found_unifying",

@@ -112,6 +112,64 @@ let test_spec_errors () =
   fails "%left X\n%right X\na : X ;";
   fails "a : X ; a : Y ; START : Z ;"
 
+(* The error message, not just the failure, is the contract: the CLI
+   surfaces it verbatim. *)
+let fails_with substring s =
+  match Spec_parser.grammar_of_string s with
+  | Ok _ -> Alcotest.failf "expected error on %S" s
+  | Error msg ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    if not (contains msg substring) then
+      Alcotest.failf "error for %S should mention %S, got %S" s substring msg
+
+let test_duplicate_start_message () =
+  fails_with "duplicate %start" "%start a\n%start a\na : X ;"
+
+let test_duplicate_prec_message () =
+  fails_with "duplicate %prec" "a : X %prec P %prec Q ;"
+
+let test_symbols_after_prec_message () =
+  fails_with "symbols after %prec" "a : X %prec P Y ;";
+  fails_with "expected a terminal after %prec" "a : X %prec ;"
+
+let test_prec_resolves_conflict () =
+  (* Unary minus: without the %prec tag the reduce production's precedence
+     defaults to MINUS (undeclared), so the PLUS lookahead conflicts; with
+     %prec UMINUS the conflict is settled silently in favour of the
+     reduction. *)
+  let without =
+    parse_grammar "%left PLUS\n%start e\ne : e PLUS e | MINUS e | N ;"
+  in
+  let with_prec =
+    parse_grammar
+      "%left PLUS\n%left UMINUS\n%start e\ne : e PLUS e | MINUS e %prec \
+       UMINUS | N ;"
+  in
+  let t_without = Automaton.Parse_table.build without in
+  let t_with = Automaton.Parse_table.build with_prec in
+  Alcotest.(check bool)
+    "unresolved conflict without %prec" true
+    (Automaton.Parse_table.conflicts t_without <> []);
+  Alcotest.(check (list int))
+    "no conflicts with %prec" []
+    (List.map
+       (fun (c : Automaton.Conflict.t) -> c.Automaton.Conflict.state)
+       (Automaton.Parse_table.conflicts t_with));
+  Alcotest.(check bool)
+    "precedence resolutions recorded" true
+    (Automaton.Parse_table.precedence_resolved t_with
+     > Automaton.Parse_table.precedence_resolved t_without);
+  (* The silent decision is itself recorded, reduction chosen. *)
+  Alcotest.(check bool)
+    "a resolved_reduce entry exists" true
+    (List.exists
+       (fun (_, r) -> r = Automaton.Parse_table.Resolved_reduce)
+       (Automaton.Parse_table.resolved_conflicts t_with))
+
 let test_reserved_eof () =
   match Spec_parser.grammar_of_string "a : '$' ;" with
   | Ok _ -> Alcotest.fail "expected reserved-symbol error"
@@ -127,4 +185,12 @@ let suite =
       Alcotest.test_case "empty alternative" `Quick test_empty_alternative;
       Alcotest.test_case "precedence" `Quick test_precedence;
       Alcotest.test_case "spec errors" `Quick test_spec_errors;
+      Alcotest.test_case "duplicate %start message" `Quick
+        test_duplicate_start_message;
+      Alcotest.test_case "duplicate %prec message" `Quick
+        test_duplicate_prec_message;
+      Alcotest.test_case "symbols after %prec message" `Quick
+        test_symbols_after_prec_message;
+      Alcotest.test_case "%prec resolves a conflict" `Quick
+        test_prec_resolves_conflict;
       Alcotest.test_case "reserved eof symbol" `Quick test_reserved_eof ] )

@@ -1,0 +1,13 @@
+(* Regenerate the corpus lint golden transcript:
+
+     dune exec tools/lint_golden.exe > test/lint.golden
+
+   The document is byte-deterministic (no timings), so CI diffs it against
+   `lrcex lint --corpus --json` verbatim. Regenerate it whenever a lint rule,
+   a corpus grammar, or the JSON schema changes, and say so in the commit
+   message. *)
+
+let () =
+  print_string
+    (Cex_service.Json.to_string (Evaluation.Lint_summary.corpus_json ()));
+  print_newline ()
