@@ -20,6 +20,9 @@ type context = {
   lalr : Lalr.t;
   conflicts : Conflict.t list;
   resolved : (Conflict.t * Parse_table.resolution) list;
+  classifications : (Conflict.t * string) list;
+      (* every conflict paired with its classification code, computed once;
+         the conflict-group rules and [report] all read from here *)
 }
 
 let diag code severity location fmt =
@@ -323,7 +326,9 @@ let conflict_location (c : Conflict.t) =
     { state = c.Conflict.state; terminal = c.Conflict.terminal }
 
 let classified_conflicts ctx code =
-  List.filter (fun c -> classification ctx.lalr c = code) ctx.conflicts
+  List.filter_map
+    (fun (c, k) -> if String.equal k code then Some c else None)
+    ctx.classifications
 
 let check_dangling_else ctx =
   let g = ctx.grammar in
@@ -476,21 +481,25 @@ let check_codes codes =
 
 let context table =
   let lalr = Parse_table.lalr table in
+  let conflicts = Parse_table.conflicts table in
   { grammar = Parse_table.grammar table;
     analysis = Lalr.analysis lalr;
     lalr;
-    conflicts = Parse_table.conflicts table;
-    resolved = Parse_table.resolved_conflicts table }
+    conflicts;
+    resolved = Parse_table.resolved_conflicts table;
+    classifications =
+      List.map (fun c -> (c, classification lalr c)) conflicts }
 
 let enabled_p ?(enable = []) ?(disable = []) () code =
   (enable = [] || List.mem code enable) && not (List.mem code disable)
 
-let run ?enable ?disable table =
-  let ctx = context table in
+let run_ctx ?enable ?disable ctx =
   let keep = enabled_p ?enable ?disable () in
   List.concat_map
     (fun (r, check) -> if keep r.code then check ctx else [])
     registry
+
+let run ?enable ?disable table = run_ctx ?enable ?disable (context table)
 
 type report = {
   diagnostics : Diagnostic.t list;
@@ -499,9 +508,8 @@ type report = {
 
 let report ?enable ?disable table =
   let ctx = context table in
-  { diagnostics = run ?enable ?disable table;
-    classifications =
-      List.map (fun c -> (c, classification ctx.lalr c)) ctx.conflicts }
+  { diagnostics = run_ctx ?enable ?disable ctx;
+    classifications = ctx.classifications }
 
 let pp_report g ppf r =
   let errors = Diagnostic.count Diagnostic.Error r.diagnostics in

@@ -149,8 +149,14 @@ let stats_to_json (s : Stats.summary) =
 let batch_to_json ?stats ?lint results =
   let lint =
     match lint with
-    | Some l when List.length l = List.length results -> l
-    | _ -> List.map (fun _ -> None) results
+    | None -> List.map (fun _ -> None) results
+    | Some l ->
+      if List.length l <> List.length results then
+        invalid_arg
+          (Fmt.str
+             "Json_report.batch_to_json: %d lint entries for %d results"
+             (List.length l) (List.length results));
+      l
   in
   Json.Obj
     [ ("schema_version", Json.Int schema_version);
