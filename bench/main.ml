@@ -27,8 +27,9 @@ let microbenchmarks () =
   let open Bechamel in
   let figure1 = Corpus.grammar (Corpus.find "figure1") in
   let java = Spec_parser.grammar_of_string_exn Corpus.Java_grammars.base in
-  let figure1_table = Parse_table.build figure1 in
-  let figure1_lalr = Parse_table.lalr figure1_table in
+  let figure1_session = Cex_session.Session.create figure1 in
+  let figure1_table = Cex_session.Session.table figure1_session in
+  let figure1_lalr = Cex_session.Session.lalr figure1_session in
   let challenging =
     List.find
       (fun c ->
@@ -46,10 +47,10 @@ let microbenchmarks () =
     Symbol.Nonterminal (Option.get (Grammar.find_nonterminal figure1 "stmt"))
   in
   let tests =
-    [ Test.make ~name:"lalr-build-figure1"
-        (Staged.stage (fun () -> Parse_table.build figure1));
-      Test.make ~name:"lalr-build-java"
-        (Staged.stage (fun () -> Parse_table.build java));
+    [ Test.make ~name:"session-build-figure1"
+        (Staged.stage (fun () -> Cex_session.Session.create figure1));
+      Test.make ~name:"session-build-java"
+        (Staged.stage (fun () -> Cex_session.Session.create java));
       Test.make ~name:"lookahead-path-challenging"
         (Staged.stage (fun () ->
              Cex.Lookahead_path.find figure1_lalr
@@ -141,7 +142,9 @@ let search_outcome ?costs ?extended lalr c =
          ~reduce_item:(Conflict.reduce_item c) ~terminal:c.Conflict.terminal)
   in
   Cex.Product_search.search ?costs ?extended
-    ~time_limit:(if quick then 1.0 else 5.0)
+    ~deadline:
+      (Cex_session.Deadline.after Cex_session.Clock.system
+         (if quick then 1.0 else 5.0))
     lalr ~conflict:c
     ~path_states:(Cex.Lookahead_path.states_on_path path)
 
@@ -174,8 +177,8 @@ let ablation_costs () =
   List.iter
     (fun name ->
       let g = Corpus.grammar (Corpus.find name) in
-      let table = Parse_table.build g in
-      let lalr = Parse_table.lalr table in
+      let session = Cex_session.Session.create g in
+      let lalr = Cex_session.Session.lalr session in
       List.iter
         (fun c ->
           Fmt.pr "  %s, conflict in state %d under %s:@." name
@@ -186,7 +189,7 @@ let ablation_costs () =
               Fmt.pr "    %-22s %a@." vname pp_outcome
                 (search_outcome ~costs lalr c))
             variants)
-        (Parse_table.conflicts table))
+        (Cex_session.Session.conflicts session))
     [ "figure1"; "SQL.4" ];
   Fmt.pr "@."
 
@@ -197,8 +200,8 @@ let ablation_restriction () =
   List.iter
     (fun name ->
       let g = Corpus.grammar (Corpus.find name) in
-      let table = Parse_table.build g in
-      let lalr = Parse_table.lalr table in
+      let session = Cex_session.Session.create g in
+      let lalr = Cex_session.Session.lalr session in
       List.iter
         (fun c ->
           Fmt.pr "  %-12s state %d under %-6s restricted: %a@." name
@@ -208,7 +211,7 @@ let ablation_restriction () =
             (search_outcome ~extended:false lalr c);
           Fmt.pr "  %-12s %24s extended:   %a@." name "" pp_outcome
             (search_outcome ~extended:true lalr c))
-        (Parse_table.conflicts table))
+        (Cex_session.Session.conflicts session))
     [ "ambfailed01"; "figure7"; "figure3" ];
   Fmt.pr "@."
 
@@ -239,22 +242,22 @@ let baseline_comparison () =
 let scheduler_bench () =
   let name = "stackovf10" in
   let g = Corpus.grammar (Corpus.find name) in
-  let table = Parse_table.build g in
-  let n_conflicts = List.length (Parse_table.conflicts table) in
+  let session = Cex_session.Session.create g in
+  let n_conflicts = List.length (Cex_session.Session.conflicts session) in
   Fmt.pr "=== Batch service: scheduler and cache (%s, %d conflicts) ===@."
     name n_conflicts;
   let time f =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Cex_session.Clock.now Cex_session.Clock.system in
     let r = f () in
-    (r, Unix.gettimeofday () -. t0)
+    (r, Cex_session.Clock.now Cex_session.Clock.system -. t0)
   in
   (* One warmup run so major-heap state is comparable across both runs. *)
-  ignore (Cex_service.Scheduler.analyze_table ~jobs:1 table);
+  ignore (Cex_service.Scheduler.analyze_session ~jobs:1 session);
   let sequential, t_seq =
-    time (fun () -> Cex_service.Scheduler.analyze_table ~jobs:1 table)
+    time (fun () -> Cex_service.Scheduler.analyze_session ~jobs:1 session)
   in
   let parallel, t_par =
-    time (fun () -> Cex_service.Scheduler.analyze_table ~jobs:4 table)
+    time (fun () -> Cex_service.Scheduler.analyze_session ~jobs:4 session)
   in
   let outcomes r =
     ( Cex.Driver.n_unifying r,
@@ -300,11 +303,6 @@ let median samples =
     let a = Array.of_list l in
     let n = Array.length a in
     if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
-
-let time_ms f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, (Unix.gettimeofday () -. t0) *. 1000.0)
 
 let stage_json samples =
   let total = List.fold_left ( +. ) 0.0 samples in
@@ -355,37 +353,43 @@ let compare_baseline ~threshold current file =
 
 let json_bench ~out ~baseline =
   let max_configs = 10_000 in
-  let table_build = ref [] in
-  let path_search = ref [] in
-  let product_search = ref [] in
+  (* Every span the pipeline emits — table build at session construction,
+     then one path-search / product-search / nonunifying span per conflict
+     from the driver — lands here through a custom recording sink; the
+     medians below are computed from the raw per-span samples. *)
+  let samples : (string, float list ref) Hashtbl.t = Hashtbl.create 8 in
+  let record stage ms =
+    match Hashtbl.find_opt samples stage with
+    | Some r -> r := ms :: !r
+    | None -> Hashtbl.add samples stage (ref [ ms ])
+  in
+  let sink =
+    Cex_session.Trace.make
+      ~on_span:(fun stage seconds -> record stage (seconds *. 1000.0))
+      ~on_count:(fun _ _ _ -> ())
+  in
+  (* Effectively infinite time budgets: the workload must be bounded by the
+     configuration budget only, so the per-stage work is deterministic. *)
+  let options =
+    { Cex.Driver.default_options with
+      Cex.Driver.per_conflict_timeout = 1e12;
+      cumulative_timeout = 1e12;
+      max_configs }
+  in
   List.iter
     (fun entry ->
-      let g = Corpus.grammar entry in
-      let table, ms = time_ms (fun () -> Parse_table.build g) in
-      table_build := ms :: !table_build;
-      let lalr = Parse_table.lalr table in
-      List.iter
-        (fun c ->
-          let path, ms =
-            time_ms (fun () ->
-                Cex.Lookahead_path.find lalr
-                  ~conflict_state:c.Conflict.state
-                  ~reduce_item:(Conflict.reduce_item c)
-                  ~terminal:c.Conflict.terminal)
-          in
-          path_search := ms :: !path_search;
-          match path with
-          | None -> ()
-          | Some path ->
-            let (_ : Cex.Product_search.outcome), ms =
-              time_ms (fun () ->
-                  Cex.Product_search.search ~time_limit:1e12 ~max_configs
-                    lalr ~conflict:c
-                    ~path_states:(Cex.Lookahead_path.states_on_path path))
-            in
-            product_search := ms :: !product_search)
-        (Parse_table.conflicts table))
+      let session =
+        Cex_session.Session.create ~trace:sink (Corpus.grammar entry)
+      in
+      ignore (Cex.Driver.analyze_session ~options session))
     (Corpus.all ());
+  let stage_samples stage =
+    match Hashtbl.find_opt samples stage with Some r -> !r | None -> []
+  in
+  let recorded =
+    Hashtbl.fold (fun stage _ acc -> stage :: acc) samples []
+    |> List.sort String.compare
+  in
   let doc =
     Cex_service.Json.Obj
       [ ("schema", Cex_service.Json.Int 1);
@@ -395,16 +399,18 @@ let json_bench ~out ~baseline =
               ("max_configs", Cex_service.Json.Int max_configs) ] );
         ( "stages",
           Cex_service.Json.Obj
-            [ ("table_build", stage_json !table_build);
-              ("path_search", stage_json !path_search);
-              ("product_search", stage_json !product_search) ] ) ]
+            (List.map
+               (fun stage -> (stage, stage_json (stage_samples stage)))
+               recorded) ) ]
   in
   Out_channel.with_open_text out (fun oc ->
       output_string oc (Cex_service.Json.to_string doc);
       output_char oc '\n');
   Fmt.pr "per-stage medians (ms): table_build %.3f, path_search %.3f, \
           product_search %.3f@."
-    (median !table_build) (median !path_search) (median !product_search);
+    (median (stage_samples "table_build"))
+    (median (stage_samples "path_search"))
+    (median (stage_samples "product_search"));
   Fmt.pr "wrote %s@." out;
   match baseline with
   | None -> true

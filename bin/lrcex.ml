@@ -39,21 +39,26 @@ let pp_lint_section g ppf = function
       (if List.length diags = 1 then "" else "s");
     List.iter (fun d -> Fmt.pf ppf "  %a@." (Cex_lint.Diagnostic.pp g) d) diags
 
-let run path timeout cumulative extended jobs json lint lint_error show_states
-    show_naive classify_lr1 show_resolved =
+let pp_trace_section ppf metrics =
+  if metrics <> [] then
+    Fmt.pf ppf "@.[trace]@.%a" Cex_session.Trace.pp_metrics metrics
+
+let run path timeout cumulative extended jobs json trace lint lint_error
+    show_states show_naive classify_lr1 show_resolved =
   match load_grammar path with
   | Error msg ->
     Fmt.epr "error: %s@." msg;
     1
   | Ok g ->
     let options = make_options timeout cumulative extended in
-    let table = Automaton.Parse_table.build g in
+    let session = Cex_session.Session.create g in
+    let table = Cex_session.Session.table session in
     let diagnostics =
       if lint || lint_error then Some (Cex_lint.Lint.run table) else None
     in
     let report =
-      if jobs <= 1 then Cex.Driver.analyze_table ~options table
-      else Cex_service.Scheduler.analyze_table ~options ~jobs table
+      if jobs <= 1 then Cex.Driver.analyze_session ~options session
+      else Cex_service.Scheduler.analyze_session ~options ~jobs session
     in
     if json then
       Fmt.pr "%s@."
@@ -86,7 +91,6 @@ let run path timeout cumulative extended jobs json lint lint_error show_states
         end
       end;
       if show_resolved then begin
-        let lalr = Automaton.Parse_table.lalr table in
         let resolved = Automaton.Parse_table.resolved_conflicts table in
         if resolved <> [] then
           Fmt.pr
@@ -94,7 +98,7 @@ let run path timeout cumulative extended jobs json lint lint_error show_states
             (List.length resolved);
         List.iter
           (fun (c, resolution) ->
-            let cr = Cex.Driver.analyze_conflict ~options lalr c in
+            let cr = Cex.Driver.analyze_conflict ~options session c in
             Fmt.pr "@.@[<v>%a@]@.(resolved: %s)@."
               (Cex.Report.pp_conflict_report g) cr
               (match resolution with
@@ -120,7 +124,9 @@ let run path timeout cumulative extended jobs json lint lint_error show_states
                 (Baselines.Naive_path.pp g) naive)
           (Automaton.Parse_table.conflicts table)
       end;
-      pp_lint_section g Fmt.stdout diagnostics
+      pp_lint_section g Fmt.stdout diagnostics;
+      if trace then
+        Fmt.pr "%a@?" pp_trace_section report.Cex.Driver.metrics
     end;
     lint_exit ~lint_error
       ~has_conflicts:(Automaton.Parse_table.conflicts table <> [])
@@ -154,8 +160,8 @@ let load_batch_entries paths use_corpus =
   in
   if errors <> [] then Error (String.concat "\n" errors) else Ok entries
 
-let run_batch paths use_corpus timeout cumulative extended jobs json lint
-    lint_error cache_size repeat =
+let run_batch paths use_corpus timeout cumulative extended jobs json trace
+    lint lint_error cache_size repeat =
   match load_batch_entries paths use_corpus with
   | Error msg ->
     Fmt.epr "error: %s@." msg;
@@ -211,7 +217,9 @@ let run_batch paths use_corpus timeout cumulative extended jobs json lint
                 (fun d ->
                   Fmt.pr "    %a@." (Cex_lint.Diagnostic.pp g) d)
                 diags)
-            diags)
+            diags;
+          if trace && not r.Cex_service.Scheduler.from_cache then
+            Fmt.pr "%a@?" pp_trace_section report.Cex.Driver.metrics)
         results diagnostics;
       Fmt.pr "@.%a@." Cex_service.Stats.pp_summary stats
     end;
@@ -263,7 +271,9 @@ let run_lint paths use_corpus json enable disable show_rules =
         let linted =
           List.map
             (fun (name, g) ->
-              let table = Automaton.Parse_table.build g in
+              let table =
+                Cex_session.Session.table (Cex_session.Session.create g)
+              in
               (name, table, Cex_lint.Lint.report ?enable ?disable table))
             entries
         in
@@ -339,6 +349,15 @@ let json_arg =
     value & flag
     & info [ "json" ] ~doc:"Emit a machine-readable JSON report on stdout.")
 
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:"Print per-stage trace metrics (table build, path search, \
+              product search timings and counters) after the report. With \
+              $(b,--json) the same metrics are always embedded in the \
+              report's $(b,metrics) object.")
+
 let lint_arg =
   Arg.(
     value & flag
@@ -387,8 +406,8 @@ let analyze_term =
   in
   Term.(
     const run $ path_arg $ timeout_arg $ cumulative_arg $ extended_arg
-    $ jobs_arg $ json_arg $ lint_arg $ lint_error_arg $ states_arg $ naive_arg
-    $ lr1_arg $ resolved_arg)
+    $ jobs_arg $ json_arg $ trace_arg $ lint_arg $ lint_error_arg $ states_arg
+    $ naive_arg $ lr1_arg $ resolved_arg)
 
 let analyze_cmd =
   Cmd.v
@@ -429,8 +448,8 @@ let batch_cmd =
     (Cmd.info "batch" ~doc)
     Term.(
       const run_batch $ paths_arg $ corpus_arg $ timeout_arg $ cumulative_arg
-      $ extended_arg $ jobs_arg $ json_arg $ lint_arg $ lint_error_arg
-      $ cache_arg $ repeat_arg)
+      $ extended_arg $ jobs_arg $ json_arg $ trace_arg $ lint_arg
+      $ lint_error_arg $ cache_arg $ repeat_arg)
 
 let lint_cmd =
   let paths_arg =

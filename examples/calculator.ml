@@ -62,7 +62,7 @@ let () =
 
   (* With precedence: clean, and the runner gives real parse trees. *)
   let g = Spec_parser.grammar_of_string_exn resolved_source in
-  let table = Parse_table.build g in
+  let table = Cex_session.Session.table (Cex_session.Session.create g) in
   Fmt.pr "@.=== With %%left declarations ===@.";
   Fmt.pr "conflicts: %d; precedence-resolved decisions: %d@.@."
     (List.length (Parse_table.conflicts table))

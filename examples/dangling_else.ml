@@ -10,8 +10,9 @@ open Automaton
 
 let () =
   let g = Spec_parser.grammar_of_string_exn Corpus.Paper_grammars.figure1 in
-  let table = Parse_table.build g in
-  let lalr = Parse_table.lalr table in
+  let session = Cex_session.Session.create g in
+  let table = Cex_session.Session.table session in
+  let lalr = Cex_session.Session.lalr session in
   let (_ : Lr0.t) = Parse_table.lr0 table in
 
   Fmt.pr "=== The grammar of Fig. 1 ===@.%a@." Grammar.pp g;
@@ -95,7 +96,8 @@ num : DIGIT | num DIGIT ;
 |}
   in
   let fixed_table =
-    Parse_table.build (Spec_parser.grammar_of_string_exn fixed)
+    Cex_session.Session.table
+      (Cex_session.Session.create (Spec_parser.grammar_of_string_exn fixed))
   in
   Fmt.pr "@.=== After matched/unmatched factoring ===@.";
   Fmt.pr "dangling-else conflicts left: %d (the expression ones remain)@."

@@ -28,7 +28,9 @@ expr : CASE search_cond THEN expr END_CASE
 |}
   in
   let fixed = Spec_parser.grammar_of_string_exn fixed_source in
-  let fixed_table = Parse_table.build fixed in
+  let fixed_table =
+    Cex_session.Session.table (Cex_session.Session.create fixed)
+  in
   Fmt.pr "@.After adding an END terminator to CASE: %d conflicts.@."
     (List.length (Parse_table.conflicts fixed_table));
 

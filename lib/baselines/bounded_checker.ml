@@ -18,8 +18,17 @@ type result = {
   elapsed : float;
 }
 
-let check ?(max_bound = 12) ?(time_limit = 30.0) g =
-  let started = Unix.gettimeofday () in
+let check ?(clock = Cex_session.Clock.system) ?(max_bound = 12)
+    ?(time_limit = 30.0) ?deadline g =
+  (* One deadline for the whole check, shared with every inner brute-force
+     run: the per-bound searches stop exactly when the overall budget does,
+     with no per-call remaining-time arithmetic. *)
+  let deadline =
+    match deadline with
+    | Some d -> d
+    | None -> Cex_session.Deadline.after clock time_limit
+  in
+  let started = Cex_session.Clock.now clock in
   let analysis = Analysis.make g in
   let interesting nt =
     Analysis.reachable analysis nt && Analysis.productive analysis nt
@@ -28,16 +37,14 @@ let check ?(max_bound = 12) ?(time_limit = 30.0) g =
   let bound = ref 0 in
   while
     !found = None && !bound < max_bound
-    && Unix.gettimeofday () -. started < time_limit
+    && not (Cex_session.Deadline.expired deadline)
   do
     incr bound;
-    let remaining () = time_limit -. (Unix.gettimeofday () -. started) in
     let rec try_nonterminals nt =
       if nt < Grammar.n_nonterminals g && !found = None then begin
         if interesting nt then begin
           let r =
-            Brute_force.search ~max_length:!bound
-              ~time_limit:(max 0.01 (remaining ()))
+            Brute_force.search ~clock ~max_length:!bound ~deadline
               ~start_nonterminal:(Some nt) g
           in
           match r.Brute_force.ambiguous with
@@ -52,4 +59,4 @@ let check ?(max_bound = 12) ?(time_limit = 30.0) g =
   done;
   { ambiguous = !found;
     bound_reached = !bound;
-    elapsed = Unix.gettimeofday () -. started }
+    elapsed = Cex_session.Clock.now clock -. started }

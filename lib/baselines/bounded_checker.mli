@@ -12,4 +12,13 @@ type result = {
   elapsed : float;
 }
 
-val check : ?max_bound:int -> ?time_limit:float -> Grammar.t -> result
+val check :
+  ?clock:Cex_session.Clock.t ->
+  ?max_bound:int ->
+  ?time_limit:float ->
+  ?deadline:Cex_session.Deadline.t ->
+  Grammar.t ->
+  result
+(** A single {!Cex_session.Deadline.t} (an explicit [deadline], or
+    [time_limit] seconds — default 30 — on [clock]) bounds the whole check
+    and is shared with every inner {!Brute_force.search} run. *)

@@ -15,9 +15,15 @@ type result = {
   exhausted : bool;  (** search space up to the length bound fully covered *)
 }
 
-let search ?(max_length = 12) ?(max_forms = 2_000_000) ?(time_limit = 30.0)
+let search ?(clock = Cex_session.Clock.system) ?(max_length = 12)
+    ?(max_forms = 2_000_000) ?(time_limit = 30.0) ?deadline
     ?(start_nonterminal = None) g =
-  let started = Unix.gettimeofday () in
+  let deadline =
+    match deadline with
+    | Some d -> d
+    | None -> Cex_session.Deadline.after clock time_limit
+  in
+  let started = Cex_session.Clock.now clock in
   let analysis = Analysis.make g in
   let start =
     match start_nonterminal with
@@ -31,11 +37,17 @@ let search ?(max_length = 12) ?(max_forms = 2_000_000) ?(time_limit = 30.0)
   let sentences = ref 0 in
   let forms = ref 0 in
   let duplicate = ref None in
-  let timed_out = ref false in
+  (* Check the deadline on loop entry, then poll it every
+     [Deadline.poll_interval] forms — the shared polling constant, so the
+     overshoot past an expired deadline is bounded identically across every
+     search loop in the system. *)
+  let timed_out = ref (Cex_session.Deadline.expired deadline) in
   while
     !duplicate = None && (not !timed_out) && not (Queue.is_empty queue)
   do
-    if !forms land 1023 = 0 && Unix.gettimeofday () -. started > time_limit
+    if
+      !forms land Cex_session.Deadline.poll_mask = 0
+      && Cex_session.Deadline.expired deadline
     then timed_out := true
     else begin
       let prefix_rev, form = Queue.pop queue in
@@ -70,5 +82,5 @@ let search ?(max_length = 12) ?(max_forms = 2_000_000) ?(time_limit = 30.0)
   { ambiguous = !duplicate;
     sentences = !sentences;
     forms_explored = !forms;
-    elapsed = Unix.gettimeofday () -. started;
+    elapsed = Cex_session.Clock.now clock -. started;
     exhausted = (not !timed_out) && !duplicate = None }

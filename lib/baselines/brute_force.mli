@@ -18,10 +18,16 @@ type result = {
 }
 
 val search :
+  ?clock:Cex_session.Clock.t ->
   ?max_length:int ->
   ?max_forms:int ->
   ?time_limit:float ->
+  ?deadline:Cex_session.Deadline.t ->
   ?start_nonterminal:int option ->
   Grammar.t ->
   result
-(** Defaults: sentences up to 12 terminals, 2M sentential forms, 30 s. *)
+(** Defaults: sentences up to 12 terminals, 2M sentential forms, 30 s on
+    the monotonic system clock. An explicit [deadline] overrides
+    [time_limit] entirely (used by {!Bounded_checker} to share one budget
+    across bounds); it is checked on entry and polled every
+    {!Cex_session.Deadline.poll_interval} forms. *)

@@ -65,9 +65,14 @@ let sample_sentence rng g analysis ~max_len =
   in
   expand [] [ Symbol.Nonterminal (Grammar.start g) ] (max_len * 2)
 
-let search ?(max_samples = 2000) ?(max_len = 25) ?(time_limit = 10.0) ?(seed = 42)
-    g =
-  let started = Unix.gettimeofday () in
+let search ?(clock = Cex_session.Clock.system) ?(max_samples = 2000)
+    ?(max_len = 25) ?(time_limit = 10.0) ?deadline ?(seed = 42) g =
+  let deadline =
+    match deadline with
+    | Some d -> d
+    | None -> Cex_session.Deadline.after clock time_limit
+  in
+  let started = Cex_session.Clock.now clock in
   let analysis = Analysis.make g in
   let earley = Earley.make g in
   let rng = Random.State.make [| seed |] in
@@ -76,7 +81,7 @@ let search ?(max_samples = 2000) ?(max_len = 25) ?(time_limit = 10.0) ?(seed = 4
   let samples = ref 0 in
   while
     !found = None && !samples < max_samples
-    && Unix.gettimeofday () -. started < time_limit
+    && not (Cex_session.Deadline.expired deadline)
   do
     incr samples;
     match sample_sentence rng g analysis ~max_len with
@@ -91,4 +96,4 @@ let search ?(max_samples = 2000) ?(max_len = 25) ?(time_limit = 10.0) ?(seed = 4
   done;
   { ambiguous = !found;
     samples = !samples;
-    elapsed = Unix.gettimeofday () -. started }
+    elapsed = Cex_session.Clock.now clock -. started }

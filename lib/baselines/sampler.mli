@@ -11,9 +11,14 @@ type result = {
 }
 
 val search :
+  ?clock:Cex_session.Clock.t ->
   ?max_samples:int ->
   ?max_len:int ->
   ?time_limit:float ->
+  ?deadline:Cex_session.Deadline.t ->
   ?seed:int ->
   Grammar.t ->
   result
+(** Defaults: 2000 samples, sentences up to 25 terminals, 10 s on the
+    monotonic system clock; an explicit [deadline] overrides
+    [time_limit]. *)

@@ -1,5 +1,9 @@
 
 open Automaton
+module Session = Cex_session.Session
+module Clock = Cex_session.Clock
+module Deadline = Cex_session.Deadline
+module Trace = Cex_session.Trace
 
 type options = {
   per_conflict_timeout : float;
@@ -39,6 +43,7 @@ type report = {
   table : Parse_table.t;
   conflict_reports : conflict_report list;
   total_elapsed : float;
+  metrics : Trace.metrics;
 }
 
 let grammar r = Parse_table.grammar r.table
@@ -52,73 +57,83 @@ let n_timeout r = count Search_timeout r + count Skipped_search r
 
 (* ------------------------------------------------------------------ *)
 
-let analyze_conflict ?(options = default_options) ?(skip_search = false) lalr
-    conflict =
-  let started = Unix.gettimeofday () in
+let analyze_conflict ?(options = default_options) ?(skip_search = false)
+    ?(deadline = Deadline.never) session conflict =
+  let clock = Session.clock session in
+  let trace = Session.trace session in
+  let lalr = Session.lalr session in
+  let started = Clock.now clock in
   (* Static conflict classification (the lint engine's pattern match) rides
-     along with every report: it costs no search time and lets batch users
-     triage conflicts without reading each counterexample. *)
-  let classification = Cex_lint.Lint.classification lalr conflict in
-  let path =
-    Lookahead_path.find lalr ~conflict_state:conflict.Conflict.state
-      ~reduce_item:(Conflict.reduce_item conflict)
-      ~terminal:conflict.Conflict.terminal
+     along with every report: computed once at session construction, it costs
+     no search time and lets batch users triage conflicts without reading
+     each counterexample. *)
+  let classification = Session.classification session conflict in
+  (* The per-conflict deadline is the cumulative one clamped to the
+     per-conflict timeout, so a single slow conflict cannot overshoot the
+     batch budget. *)
+  let per_conflict, budget_exhausted =
+    Deadline.clamp deadline ~clock ~seconds:options.per_conflict_timeout
+  in
+  let finish report =
+    let elapsed = Clock.now clock -. started in
+    Deadline.consume deadline elapsed;
+    { report with elapsed }
   in
   let fallback outcome configs =
     let counterexample =
-      match Nonunifying.construct lalr conflict with
-      | Some nu -> Some (Nonunifying nu)
-      | None -> None
+      Trace.timed trace clock "nonunifying" (fun () ->
+          match Nonunifying.construct lalr conflict with
+          | Some nu -> Some (Nonunifying nu)
+          | None -> None)
     in
-    { conflict; classification; counterexample; outcome;
-      elapsed = Unix.gettimeofday () -. started;
-      configs_explored = configs }
+    finish
+      { conflict; classification; counterexample; outcome; elapsed = 0.0;
+        configs_explored = configs }
   in
-  match path with
-  | None -> fallback Search_timeout 0
-  | Some path when skip_search -> (
-    ignore path;
-    fallback Skipped_search 0)
-  | Some path -> (
-    let path_states = Lookahead_path.states_on_path path in
-    match
-      Product_search.search ~costs:options.costs ~extended:options.extended
-        ~time_limit:options.per_conflict_timeout
-        ~max_configs:options.max_configs lalr ~conflict ~path_states
-    with
-    | Product_search.Unifying (u, stats) ->
-      { conflict;
-        classification;
-        counterexample = Some (Unifying u);
-        outcome = Found_unifying;
-        elapsed = Unix.gettimeofday () -. started;
-        configs_explored = stats.Product_search.configs_explored }
-    | Product_search.Timeout stats ->
-      fallback Search_timeout stats.Product_search.configs_explored
-    | Product_search.Exhausted stats ->
-      fallback No_unifying_exists stats.Product_search.configs_explored)
-
-let clamp_to_budget options ~remaining =
-  if remaining <= 0.0 then (options, true)
+  if skip_search || budget_exhausted then fallback Skipped_search 0
   else
-    ( { options with
-        per_conflict_timeout = Float.min options.per_conflict_timeout remaining },
-      false )
+    let path =
+      Trace.timed trace clock "path_search" (fun () ->
+          Lookahead_path.find ~deadline:per_conflict ~trace lalr
+            ~conflict_state:conflict.Conflict.state
+            ~reduce_item:(Conflict.reduce_item conflict)
+            ~terminal:conflict.Conflict.terminal)
+    in
+    match path with
+    | None -> fallback Search_timeout 0
+    | Some path -> (
+      let path_states = Lookahead_path.states_on_path path in
+      match
+        Trace.timed trace clock "product_search" (fun () ->
+            Product_search.search ~costs:options.costs
+              ~extended:options.extended ~deadline:per_conflict ~trace
+              ~max_configs:options.max_configs lalr ~conflict ~path_states)
+      with
+      | Product_search.Unifying (u, stats) ->
+        finish
+          { conflict;
+            classification;
+            counterexample = Some (Unifying u);
+            outcome = Found_unifying;
+            elapsed = 0.0;
+            configs_explored = stats.Product_search.configs_explored }
+      | Product_search.Timeout stats ->
+        fallback Search_timeout stats.Product_search.configs_explored
+      | Product_search.Exhausted stats ->
+        fallback No_unifying_exists stats.Product_search.configs_explored)
 
-let analyze_table ?(options = default_options) table =
-  let started = Unix.gettimeofday () in
-  let lalr = Parse_table.lalr table in
+let analyze_session ?(options = default_options) session =
+  let clock = Session.clock session in
+  let started = Clock.now clock in
+  let deadline = Deadline.budget clock options.cumulative_timeout in
   let conflict_reports =
     List.map
-      (fun conflict ->
-        let remaining =
-          options.cumulative_timeout -. (Unix.gettimeofday () -. started)
-        in
-        let options, skip_search = clamp_to_budget options ~remaining in
-        analyze_conflict ~options ~skip_search lalr conflict)
-      (Parse_table.conflicts table)
+      (analyze_conflict ~options ~deadline session)
+      (Session.conflicts session)
   in
-  { table; conflict_reports;
-    total_elapsed = Unix.gettimeofday () -. started }
+  { table = Session.table session;
+    conflict_reports;
+    total_elapsed = Clock.now clock -. started;
+    metrics = Session.metrics session }
 
-let analyze ?options g = analyze_table ?options (Parse_table.build g)
+let analyze ?options g = analyze_session ?options (Session.create g)

@@ -1,4 +1,4 @@
-(** Top-level driver: analyze a grammar's conflicts and attach a
+(** Top-level driver: analyze a session's conflicts and attach a
     counterexample to each, mirroring the paper's implementation strategy
     (section 6):
 
@@ -7,7 +7,11 @@
       per-conflict time limit (the paper's 5 s default);
     - fall back to a nonunifying counterexample on timeout or exhaustion;
     - after a cumulative budget (the paper's 2 minutes), skip the unifying
-      search and report only nonunifying counterexamples. *)
+      search and report only nonunifying counterexamples.
+
+    All timing flows through the session's {!Cex_session.Clock} and
+    {!Cex_session.Deadline} values — no raw wall-clock reads — so timeouts
+    are deterministic under a fake clock. *)
 
 open Automaton
 
@@ -36,9 +40,9 @@ type counterexample =
 type conflict_report = {
   conflict : Conflict.t;
   classification : string;
-      (** static conflict-pattern classification from the lint engine
-          ({!Cex_lint.Lint.classification}): a conflict-group rule code such
-          as ["dangling-else"], or ["unclassified"] *)
+      (** static conflict-pattern classification from the lint engine,
+          computed once at session construction: a conflict-group rule code
+          such as ["dangling-else"], or ["unclassified"] *)
   counterexample : counterexample option;
       (** [None] only if even the nonunifying construction failed *)
   outcome : outcome;
@@ -50,22 +54,35 @@ type report = {
   table : Parse_table.t;
   conflict_reports : conflict_report list;
   total_elapsed : float;
+  metrics : Cex_session.Trace.metrics;
+      (** per-stage spans and counters from the session's collector; empty
+          when the session was created with an external trace sink *)
 }
 
 val analyze : ?options:options -> Cfg.Grammar.t -> report
-val analyze_table : ?options:options -> Parse_table.t -> report
+(** [analyze g] is [analyze_session (Cex_session.Session.create g)]. *)
 
-val clamp_to_budget : options -> remaining:float -> options * bool
-(** [clamp_to_budget options ~remaining] prepares the options for the next
-    conflict given [remaining] seconds of the cumulative budget: the
-    per-conflict timeout is clamped so a single slow conflict cannot
-    overshoot the cumulative budget, and the returned boolean is the
-    [skip_search] flag (true once the budget is exhausted). Shared by
-    {!analyze_table} and the batch scheduler. *)
+val analyze_session : ?options:options -> Cex_session.Session.t -> report
+(** Analyze every conflict of the session sequentially under a fresh
+    cumulative {!Cex_session.Deadline.budget} of
+    [options.cumulative_timeout] seconds of consumed search time. *)
 
 val analyze_conflict :
-  ?options:options -> ?skip_search:bool -> Lalr.t -> Conflict.t ->
+  ?options:options ->
+  ?skip_search:bool ->
+  ?deadline:Cex_session.Deadline.t ->
+  Cex_session.Session.t ->
+  Conflict.t ->
   conflict_report
+(** [deadline] is the {e cumulative} budget (default
+    {!Cex_session.Deadline.never}): the per-conflict deadline handed to the
+    path and product searches is [deadline] clamped to
+    [options.per_conflict_timeout] via {!Cex_session.Deadline.clamp}, and
+    the conflict's elapsed time is {!Cex_session.Deadline.consume}d from it
+    afterwards. When the budget is already exhausted (or [skip_search] is
+    set) the searches are skipped entirely — no path computation — and the
+    report falls back to a nonunifying counterexample with
+    {!Skipped_search}. *)
 
 val grammar : report -> Cfg.Grammar.t
 val n_unifying : report -> int

@@ -118,8 +118,9 @@ type search_entry = {
    The visited set is a flat array over packed (state, item id) keys holding
    the lookahead sets already expanded for that pair — an int-indexed
    replacement for the old polymorphic-hash vertex table. *)
-let find ?(transition_cost = 1) ?(production_cost = 0) lalr ~conflict_state
-    ~reduce_item ~terminal =
+let find ?(transition_cost = 1) ?(production_cost = 0)
+    ?(deadline = Cex_session.Deadline.never) ?(trace = Cex_session.Trace.null)
+    lalr ~conflict_state ~reduce_item ~terminal =
   let lr0 = Lalr.lr0 lalr in
   let g = Lalr.grammar lalr in
   let analysis = Lalr.analysis lalr in
@@ -139,11 +140,27 @@ let find ?(transition_cost = 1) ?(production_cost = 0) lalr ~conflict_state
   in
   let queue = ref (Pqueue.add Pqueue.empty 0 start) in
   let result = ref None in
-  while Option.is_none !result && not (Pqueue.is_empty !queue) do
+  let pops = ref 0 in
+  let relaxations = ref 0 in
+  let timed_out = ref (Cex_session.Deadline.expired deadline) in
+  let push cost entry =
+    incr relaxations;
+    queue := Pqueue.add !queue cost entry
+  in
+  while
+    Option.is_none !result && (not !timed_out)
+    && not (Pqueue.is_empty !queue)
+  do
+    if
+      !pops land Cex_session.Deadline.poll_mask = 0 && !pops > 0
+      && Cex_session.Deadline.expired deadline
+    then timed_out := true
+    else
     match Pqueue.pop !queue with
     | None -> assert false
     | Some (cost, entry, rest) ->
       queue := rest;
+      incr pops;
       let { state; id; lookahead; _ } = entry in
       let key = (state * n_ids) + id in
       if
@@ -162,10 +179,9 @@ let find ?(transition_cost = 1) ?(production_cost = 0) lalr ~conflict_state
             | None -> ()
             | Some state' ->
               if relevant state' (id + 1) then
-                queue :=
-                  Pqueue.add !queue (cost + transition_cost)
-                    { state = state'; id = id + 1; lookahead;
-                      parent = Some (entry, Transition sym) }));
+                push (cost + transition_cost)
+                  { state = state'; id = id + 1; lookahead;
+                    parent = Some (entry, Transition sym) }));
           (* Production step edges. *)
           match Lr0.next_symbol_of_id lr0 id with
           | Some (Symbol.Nonterminal nt) ->
@@ -178,15 +194,16 @@ let find ?(transition_cost = 1) ?(production_cost = 0) lalr ~conflict_state
               (fun p ->
                 let id' = Lr0.item_id lr0 (Item.make p 0) in
                 if relevant state id' then
-                  queue :=
-                    Pqueue.add !queue (cost + production_cost)
-                      { state; id = id'; lookahead = follow;
-                        parent = Some (entry, Production p) })
+                  push (cost + production_cost)
+                    { state; id = id'; lookahead = follow;
+                      parent = Some (entry, Production p) })
               (Grammar.productions_of g nt)
           | Some (Symbol.Terminal _) | None -> ()
         end
       end
   done;
+  Cex_session.Trace.count trace "path_search" "relaxations" !relaxations;
+  Cex_session.Trace.count trace "path_search" "pops" !pops;
   match !result with
   | None -> None
   | Some entry ->

@@ -33,15 +33,20 @@ type t = {
 val find :
   ?transition_cost:int ->
   ?production_cost:int ->
+  ?deadline:Cex_session.Deadline.t ->
+  ?trace:Cex_session.Trace.sink ->
   Lalr.t ->
   conflict_state:int ->
   reduce_item:Item.t ->
   terminal:int ->
   t option
-(** [None] only if the conflict item is unreachable with the conflict
-    terminal in the precise lookahead — impossible for genuine LALR conflicts
-    but callers must handle it. Default costs: transitions 1, production
-    steps 0 (shortest in symbols). *)
+(** [None] if the conflict item is unreachable with the conflict terminal in
+    the precise lookahead — impossible for genuine LALR conflicts but callers
+    must handle it — or if [deadline] (default {!Cex_session.Deadline.never})
+    expires; the Dijkstra polls it on loop entry and every
+    {!Cex_session.Deadline.poll_interval} pops. Emits [relaxations] and
+    [pops] counters for the ["path_search"] stage into [trace]. Default
+    costs: transitions 1, production steps 0 (shortest in symbols). *)
 
 val prefix_symbols : t -> Symbol.t list
 (** The symbols of the transition edges: the counterexample prefix that takes

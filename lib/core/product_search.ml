@@ -516,9 +516,16 @@ let success ctx cfg =
 
 (* ------------------------------------------------------------------ *)
 
-let search ?(costs = default_costs) ?(extended = false) ?(time_limit = 5.0)
-    ?(max_configs = 400_000) lalr ~(conflict : Conflict.t) ~path_states =
-  let started = Unix.gettimeofday () in
+let search ?(costs = default_costs) ?(extended = false)
+    ?(deadline = Cex_session.Deadline.never)
+    ?(trace = Cex_session.Trace.null) ?(max_configs = 400_000) lalr
+    ~(conflict : Conflict.t) ~path_states =
+  let clock =
+    Option.value
+      (Cex_session.Deadline.clock deadline)
+      ~default:Cex_session.Clock.system
+  in
+  let started = Cex_session.Clock.now clock in
   let lr0 = Lalr.lr0 lalr in
   let g = Lalr.grammar lalr in
   let on_path = Array.make (Lr0.n_states lr0) false in
@@ -567,11 +574,18 @@ let search ?(costs = default_costs) ?(extended = false) ?(time_limit = 5.0)
   let visited = Ktbl.create 4096 in
   let queue = ref (Pqueue.add Pqueue.empty 0 initial) in
   let explored = ref 0 in
+  let pushes = ref 1 in
   let result = ref None in
-  let give_up = ref None in
+  let give_up =
+    (* Check the deadline on loop entry: an already-expired per-conflict
+       budget must not explore a single configuration. *)
+    ref (if Cex_session.Deadline.expired deadline then Some `Timeout else None)
+  in
   while Option.is_none !result && Option.is_none !give_up do
     if Pqueue.is_empty !queue then give_up := Some `Exhausted
-    else if !explored land 255 = 0 && Unix.gettimeofday () -. started > time_limit
+    else if
+      !explored land Cex_session.Deadline.poll_mask = 0
+      && Cex_session.Deadline.expired deadline
     then give_up := Some `Timeout
     else if !explored > max_configs then give_up := Some `Timeout
     else begin
@@ -587,14 +601,19 @@ let search ?(costs = default_costs) ?(extended = false) ?(time_limit = 5.0)
           | None ->
             List.iter
               (fun (delta, cfg') ->
-                if not (Ktbl.mem visited cfg') then
-                  queue := Pqueue.add !queue (cost + delta) cfg')
+                if not (Ktbl.mem visited cfg') then begin
+                  incr pushes;
+                  queue := Pqueue.add !queue (cost + delta) cfg'
+                end)
               (successors ctx cfg)
         end
     end
   done;
+  Cex_session.Trace.count trace "product_search" "configs_explored" !explored;
+  Cex_session.Trace.count trace "product_search" "queue_pushes" !pushes;
   let stats =
-    { configs_explored = !explored; elapsed = Unix.gettimeofday () -. started }
+    { configs_explored = !explored;
+      elapsed = Cex_session.Clock.now clock -. started }
   in
   match !result, !give_up with
   | Some u, _ -> Unifying (u, stats)

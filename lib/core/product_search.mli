@@ -56,12 +56,19 @@ type outcome =
 val search :
   ?costs:costs ->
   ?extended:bool ->
-  ?time_limit:float ->
+  ?deadline:Cex_session.Deadline.t ->
+  ?trace:Cex_session.Trace.sink ->
   ?max_configs:int ->
   Lalr.t ->
   conflict:Conflict.t ->
   path_states:int list ->
   outcome
 (** [path_states] is {!Lookahead_path.states_on_path} of the conflict's
-    shortest lookahead-sensitive path. Defaults: 5 s, 400k configurations
-    (the paper's per-conflict limit is 5 s). *)
+    shortest lookahead-sensitive path. The per-conflict time budget arrives
+    as [deadline] (default {!Cex_session.Deadline.never}): it is checked on
+    entry and polled every {!Cex_session.Deadline.poll_interval} explored
+    configurations; expiry yields {!Timeout}, exactly like exceeding
+    [max_configs] (default 400k). Emits [configs_explored] and
+    [queue_pushes] counters for the ["product_search"] stage into [trace].
+    [stats.elapsed] is measured on the deadline's clock (the system
+    monotonic clock for {!Cex_session.Deadline.never}). *)

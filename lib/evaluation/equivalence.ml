@@ -13,10 +13,6 @@
 open Cfg
 open Automaton
 
-(* Effectively infinite: outcomes must be decided by the configuration
-   budget, never by wall-clock time, or the transcript would be flaky. *)
-let no_time_limit = 1e12
-
 let default_max_configs = 10_000
 
 let pp_syms g ppf syms =
@@ -51,9 +47,10 @@ let add_conflict buf g lalr ~max_configs (c : Conflict.t) =
   (match path with
   | None -> ()
   | Some path ->
+    (* No deadline: outcomes must be decided by the configuration budget,
+       never by wall-clock time, or the transcript would be flaky. *)
     let outcome =
-      Cex.Product_search.search ~time_limit:no_time_limit ~max_configs lalr
-        ~conflict:c
+      Cex.Product_search.search ~max_configs lalr ~conflict:c
         ~path_states:(Cex.Lookahead_path.states_on_path path)
     in
     (match outcome with
@@ -88,9 +85,12 @@ let add_conflict buf g lalr ~max_configs (c : Conflict.t) =
 let grammar_summary buf ~max_configs (entry : Corpus.entry) =
   let pf fmt = Fmt.kstr (Buffer.add_string buf) fmt in
   let g = Corpus.grammar entry in
-  let table = Parse_table.build g in
-  let lalr = Parse_table.lalr table in
-  let conflicts = Parse_table.conflicts table in
+  let session =
+    Cex_session.Session.create ~trace:Cex_session.Trace.null g
+  in
+  let table = Cex_session.Session.table session in
+  let lalr = Cex_session.Session.lalr session in
+  let conflicts = Cex_session.Session.conflicts session in
   pf "== %s conflicts=%d states=%d\n" entry.Corpus.name
     (List.length conflicts)
     (Lr0.n_states (Parse_table.lr0 table));

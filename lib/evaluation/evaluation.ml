@@ -24,11 +24,12 @@ type row = {
 let run_row ?(options = Cex.Driver.default_options) ?(with_baseline = false)
     ?(baseline_budget = 15.0) ?(jobs = 1) (entry : Corpus.entry) =
   let g = Corpus.grammar entry in
-  let table = Parse_table.build g in
-  let lalr = Parse_table.lalr table in
+  let session = Cex_session.Session.create g in
+  let table = Cex_session.Session.table session in
+  let lalr = Cex_session.Session.lalr session in
   let report =
-    if jobs <= 1 then Cex.Driver.analyze_table ~options table
-    else Cex_service.Scheduler.analyze_table ~options ~jobs table
+    if jobs <= 1 then Cex.Driver.analyze_session ~options session
+    else Cex_service.Scheduler.analyze_session ~options ~jobs session
   in
   let analysis = Lalr.analysis lalr in
   let misleading_naive =

@@ -12,7 +12,8 @@ type row = {
 }
 
 let run_row (entry : Corpus.entry) =
-  let table = Parse_table.build (Corpus.grammar entry) in
+  let session = Cex_session.Session.create (Corpus.grammar entry) in
+  let table = Cex_session.Session.table session in
   let report = Cex_lint.Lint.report table in
   let diags = report.Cex_lint.Lint.diagnostics in
   { entry;

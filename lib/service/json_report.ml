@@ -1,7 +1,7 @@
 open Cfg
 open Automaton
 
-let schema_version = 2
+let schema_version = 3
 
 let outcome_string = function
   | Cex.Driver.Found_unifying -> "found_unifying"
@@ -72,6 +72,21 @@ let counterexample_to_json g = function
         ("other_continuation", symbols g nu.Cex.Nonunifying.other_continuation)
       ]
 
+let metrics_to_json (m : Cex_session.Trace.metrics) =
+  Json.Obj
+    (List.map
+       (fun (stage, metric) ->
+         ( stage,
+           Json.Obj
+             [ ("seconds", Json.Float metric.Cex_session.Trace.seconds);
+               ("spans", Json.Int metric.Cex_session.Trace.spans);
+               ( "counters",
+                 Json.Obj
+                   (List.map
+                      (fun (name, n) -> (name, Json.Int n))
+                      metric.Cex_session.Trace.counters) ) ] ))
+       m)
+
 let conflict_to_json g (cr : Cex.Driver.conflict_report) =
   let c = cr.Cex.Driver.conflict in
   Json.Obj
@@ -111,6 +126,7 @@ let report_to_json ?name ?digest ?from_cache ?diagnostics
                     ("timeouts", Json.Int (Cex.Driver.n_timeout r));
                     ("total_elapsed", Json.Float r.Cex.Driver.total_elapsed) ]
               )
+             :: ("metrics", metrics_to_json r.Cex.Driver.metrics)
              :: opt "diagnostics"
                   (Option.map (diagnostics_to_json g) diagnostics)
                   [ ( "conflicts",
@@ -136,12 +152,12 @@ let stats_to_json (s : Stats.summary) =
           (List.map (fun (name, secs) -> (name, Json.Float secs)) s.Stats.stages)
       );
       ( "cache",
-        match s.Stats.table_cache, s.Stats.report_cache with
+        match s.Stats.session_cache, s.Stats.report_cache with
         | None, None -> Json.Null
-        | tables, reports ->
+        | sessions, reports ->
           Json.Obj
-            [ ( "tables",
-                Option.fold ~none:Json.Null ~some:counters_to_json tables );
+            [ ( "sessions",
+                Option.fold ~none:Json.Null ~some:counters_to_json sessions );
               ( "reports",
                 Option.fold ~none:Json.Null ~some:counters_to_json reports )
             ] ) ]

@@ -4,15 +4,17 @@
     Schema sketch (stable keys, see the golden tests):
 
     {v
-    { "schema_version": 2,
+    { "schema_version": 3,
       "stats": { "jobs", "grammars", "conflicts", "wall_seconds",
                  "max_queue_depth", "stages": {...},
-                 "cache": { "tables": {"hits","misses","evictions"},
+                 "cache": { "sessions": {"hits","misses","evictions"},
                             "reports": {...} } },
       "grammars": [
         { "grammar", "digest", "from_cache",
           "summary": { "conflicts", "unifying", "nonunifying", "timeouts",
                        "total_elapsed" },
+          "metrics": { "<stage>": { "seconds", "spans",
+                                    "counters": { "<name>": n, ... } } },
           "diagnostics": [ ... ],            // only with --lint
           "conflicts": [
             { "state", "terminal", "kind", "classification",
@@ -29,7 +31,7 @@
     diagnostic object shape:
 
     {v
-    { "schema_version": 2,
+    { "schema_version": 3,
       "summary": { "grammars", "diagnostics", "errors", "warnings", "infos",
                    "conflicts", "unclassified_conflicts",
                    "codes": { "<rule-code>": count, ... } },
@@ -43,8 +45,10 @@
     v} *)
 
 val schema_version : int
-(** Version 2: conflict objects carry a ["classification"], grammar objects
-    may carry a ["diagnostics"] array, and the lint document exists. *)
+(** Version 3: grammar report objects carry a per-stage ["metrics"] object
+    (trace spans and counters) and the stats cache object keys sessions,
+    not tables. Version 2 added conflict ["classification"], optional
+    ["diagnostics"] arrays and the lint document. *)
 
 val outcome_string : Cex.Driver.outcome -> string
 (** ["found_unifying"], ["no_unifying_exists"], ["search_timeout"],
@@ -54,6 +58,10 @@ val diagnostic_to_json : Cfg.Grammar.t -> Cex_lint.Diagnostic.t -> Json.t
 val diagnostics_to_json : Cfg.Grammar.t -> Cex_lint.Diagnostic.t list -> Json.t
 
 val conflict_to_json : Cfg.Grammar.t -> Cex.Driver.conflict_report -> Json.t
+
+val metrics_to_json : Cex_session.Trace.metrics -> Json.t
+(** The per-stage ["metrics"] object: stage name to
+    [{ "seconds", "spans", "counters" }]. *)
 
 val report_to_json :
   ?name:string -> ?digest:string -> ?from_cache:bool ->

@@ -1,4 +1,7 @@
-open Automaton
+module Session = Cex_session.Session
+module Clock = Cex_session.Clock
+module Deadline = Cex_session.Deadline
+module Trace = Cex_session.Trace
 
 let default_jobs () = Domain.recommended_domain_count ()
 
@@ -44,55 +47,34 @@ let map ?(jobs = default_jobs ()) f xs =
   Array.to_list (run_pool ~jobs (Array.length arr) (fun i -> f arr.(i)))
 
 (* ------------------------------------------------------------------ *)
-(* Cumulative budgets, metered as search time consumed (see .mli). *)
-
-type budget = {
-  lock : Mutex.t;
-  mutable remaining : float;
-}
-
-let budget_make seconds = { lock = Mutex.create (); remaining = seconds }
-
-let budget_remaining b =
-  Mutex.lock b.lock;
-  let r = b.remaining in
-  Mutex.unlock b.lock;
-  r
-
-let budget_consume b seconds =
-  Mutex.lock b.lock;
-  b.remaining <- b.remaining -. seconds;
-  Mutex.unlock b.lock
-
-let run_conflict ~options ~budget lalr conflict =
-  let options, skip_search =
-    Cex.Driver.clamp_to_budget options ~remaining:(budget_remaining budget)
-  in
-  let cr = Cex.Driver.analyze_conflict ~options ~skip_search lalr conflict in
-  budget_consume budget cr.Cex.Driver.elapsed;
-  cr
 
 let search_seconds crs =
   Array.fold_left (fun t cr -> t +. cr.Cex.Driver.elapsed) 0.0 crs
 
-let analyze_table ?(options = Cex.Driver.default_options)
-    ?(jobs = default_jobs ()) ?stats table =
-  let started = Unix.gettimeofday () in
-  let lalr = Parse_table.lalr table in
-  let conflicts = Array.of_list (Parse_table.conflicts table) in
-  let budget = budget_make options.Cex.Driver.cumulative_timeout in
+let analyze_session ?(options = Cex.Driver.default_options)
+    ?(jobs = default_jobs ()) ?stats session =
+  let clock = Session.clock session in
+  let started = Clock.now clock in
+  let conflicts = Array.of_list (Session.conflicts session) in
+  (* One mutex-guarded consumed-work budget shared by every worker: the
+     driver clamps each per-conflict deadline to it and consumes the
+     conflict's elapsed time afterwards (see scheduler.mli). *)
+  let deadline =
+    Deadline.budget clock options.Cex.Driver.cumulative_timeout
+  in
   let crs =
     run_pool ?stats ~jobs (Array.length conflicts) (fun i ->
-        run_conflict ~options ~budget lalr conflicts.(i))
+        Cex.Driver.analyze_conflict ~options ~deadline session conflicts.(i))
   in
   (match stats with
   | Some st ->
     Stats.add_conflicts st (Array.length conflicts);
     Stats.add_stage st "conflict_search" (search_seconds crs)
   | None -> ());
-  { Cex.Driver.table;
+  { Cex.Driver.table = Session.table session;
     conflict_reports = Array.to_list crs;
-    total_elapsed = Unix.gettimeofday () -. started }
+    total_elapsed = Clock.now clock -. started;
+    metrics = Session.metrics session }
 
 (* ------------------------------------------------------------------ *)
 (* The batch service. *)
@@ -100,19 +82,21 @@ let analyze_table ?(options = Cex.Driver.default_options)
 type t = {
   options : Cex.Driver.options;
   jobs : int;
-  tables : Parse_table.t Cache.t;
+  clock : Clock.t;
+  sessions : Session.t Cache.t;
   reports : Cex.Driver.report Cache.t;
 }
 
 let create ?(options = Cex.Driver.default_options) ?(jobs = default_jobs ())
-    ?(cache_capacity = 128) () =
+    ?(cache_capacity = 128) ?(clock = Clock.system) () =
   { options;
     jobs = max 1 jobs;
-    tables = Cache.create ~capacity:cache_capacity ();
+    clock;
+    sessions = Cache.create ~capacity:cache_capacity ();
     reports = Cache.create ~capacity:cache_capacity () }
 
 let jobs t = t.jobs
-let table_cache_counters t = Cache.counters t.tables
+let session_cache_counters t = Cache.counters t.sessions
 let report_cache_counters t = Cache.counters t.reports
 
 type batch_result = {
@@ -124,10 +108,10 @@ type batch_result = {
 
 (* Phase-1 classification of a batch entry. *)
 type fresh = {
-  table : Parse_table.t;
-  budget : budget;
+  session : Session.t;
+  deadline : Deadline.t;
   table_seconds : float;
-  conflicts : Conflict.t array;
+  conflicts : Automaton.Conflict.t array;
   first_job : int;  (* offset into the flattened conflict-job array *)
 }
 
@@ -137,9 +121,9 @@ type prepared =
   | Duplicate of int  (* index of the identical fresh entry in this batch *)
 
 let analyze_batch t entries =
-  let stats = Stats.create ~jobs:t.jobs in
+  let stats = Stats.create ~clock:t.clock ~jobs:t.jobs () in
   Stats.add_grammars stats (List.length entries);
-  (* Phase 1 (sequential): digest, report-cache lookup, table build. *)
+  (* Phase 1 (sequential): digest, report-cache lookup, session build. *)
   let seen_fresh : (string, int) Hashtbl.t = Hashtbl.create 16 in
   let next_job = ref 0 in
   let prepared =
@@ -153,22 +137,29 @@ let analyze_batch t entries =
             match Hashtbl.find_opt seen_fresh digest with
             | Some j -> Duplicate j
             | None ->
-              let t0 = Unix.gettimeofday () in
-              let table =
-                Cache.find_or_build t.tables digest (fun () ->
-                    Parse_table.build g)
+              let t0 = Clock.now t.clock in
+              let session =
+                match Cache.find t.sessions digest with
+                | Some s ->
+                  Trace.count (Session.trace s) "session" "cache_hits" 1;
+                  s
+                | None ->
+                  let s = Session.create ~clock:t.clock g in
+                  Cache.set t.sessions digest s;
+                  s
               in
-              let table_seconds = Unix.gettimeofday () -. t0 in
+              let table_seconds = Clock.now t.clock -. t0 in
               Stats.add_stage stats "table_build" table_seconds;
-              let conflicts = Array.of_list (Parse_table.conflicts table) in
+              let conflicts = Array.of_list (Session.conflicts session) in
               Stats.add_conflicts stats (Array.length conflicts);
               Hashtbl.add seen_fresh digest i;
               let first_job = !next_job in
               next_job := !next_job + Array.length conflicts;
               Fresh
-                { table;
-                  budget =
-                    budget_make t.options.Cex.Driver.cumulative_timeout;
+                { session;
+                  deadline =
+                    Deadline.budget t.clock
+                      t.options.Cex.Driver.cumulative_timeout;
                   table_seconds;
                   conflicts;
                   first_job })
@@ -190,8 +181,8 @@ let analyze_batch t entries =
   let crs =
     run_pool ~stats ~jobs:t.jobs (Array.length job_table) (fun i ->
         let f, conflict = Option.get job_table.(i) in
-        let lalr = Parse_table.lalr f.table in
-        run_conflict ~options:t.options ~budget:f.budget lalr conflict)
+        Cex.Driver.analyze_conflict ~options:t.options ~deadline:f.deadline
+          f.session conflict)
   in
   Stats.add_stage stats "conflict_search" (search_seconds crs);
   (* Phase 3 (sequential): reassemble reports in input order and fill the
@@ -202,13 +193,14 @@ let analyze_batch t entries =
         (Array.init (Array.length f.conflicts) (fun k ->
              crs.(f.first_job + k)))
     in
-    { Cex.Driver.table = f.table;
+    { Cex.Driver.table = Session.table f.session;
       conflict_reports;
       total_elapsed =
         f.table_seconds
         +. List.fold_left
              (fun t cr -> t +. cr.Cex.Driver.elapsed)
-             0.0 conflict_reports }
+             0.0 conflict_reports;
+      metrics = Session.metrics f.session }
   in
   let results =
     List.map
@@ -230,7 +222,7 @@ let analyze_batch t entries =
       prepared
   in
   ( results,
-    Stats.finish stats ~table_cache:(Cache.counters t.tables)
+    Stats.finish stats ~session_cache:(Cache.counters t.sessions)
       ~report_cache:(Cache.counters t.reports) )
 
 let analyze t ?(name = "grammar") g =

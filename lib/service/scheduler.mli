@@ -2,23 +2,24 @@
     engine.
 
     Conflict-driven counterexample search is embarrassingly parallel at the
-    conflict level: once the LALR automaton is built, each [(state, item,
-    terminal)] conflict search (paper sections 4 and 5) only reads the
-    immutable {!Automaton.Lalr.t}, so conflicts fan out safely across an
-    OCaml 5 [Domain] worker pool. Whole grammars fan out the same way in
-    batch mode, after a sequential table-build phase that goes through the
-    content-addressed {!Cache}.
+    conflict level: once the session's LALR automaton is built, each
+    [(state, item, terminal)] conflict search (paper sections 4 and 5) only
+    reads the immutable {!Cex_session.Session.t}, so conflicts fan out
+    safely across an OCaml 5 [Domain] worker pool. Whole grammars fan out
+    the same way in batch mode, after a sequential session-build phase that
+    goes through the content-addressed {!Cache}.
 
-    Budget semantics: the cumulative timeout is a budget of {e search time
-    consumed}. Before each conflict the per-conflict timeout is clamped to
-    the budget still unspent ({!Cex.Driver.clamp_to_budget}); once the
-    budget is exhausted remaining conflicts skip the unifying search and
-    degrade gracefully to nonunifying counterexamples. With [jobs = 1] this
-    coincides with the sequential {!Cex.Driver.analyze_table}; with more
-    workers it bounds total work rather than wall time, keeping outcomes
-    independent of worker interleaving. *)
-
-open Automaton
+    Budget semantics: the cumulative timeout is a
+    {!Cex_session.Deadline.budget} of {e search time consumed}, shared by
+    every worker through the driver — before each conflict
+    {!Cex.Driver.analyze_conflict} clamps its per-conflict deadline to the
+    budget still unspent and consumes the conflict's elapsed time
+    afterwards. Once the budget is exhausted, remaining conflicts skip the
+    unifying search and degrade gracefully to nonunifying counterexamples.
+    With [jobs = 1] this coincides with the sequential
+    {!Cex.Driver.analyze_session}; with more workers it bounds total work
+    rather than wall time, keeping outcomes independent of worker
+    interleaving. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count], the whole machine. *)
@@ -28,32 +29,37 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     (including the calling one). A worker's exception aborts the remaining
     items and is re-raised in the caller after the pool drains. *)
 
-val analyze_table :
+val analyze_session :
   ?options:Cex.Driver.options ->
   ?jobs:int ->
   ?stats:Stats.t ->
-  Parse_table.t ->
+  Cex_session.Session.t ->
   Cex.Driver.report
-(** Drop-in parallel replacement for {!Cex.Driver.analyze_table}: conflict
-    reports come back in the table's conflict order regardless of worker
-    interleaving. *)
+(** Drop-in parallel replacement for {!Cex.Driver.analyze_session}:
+    conflict reports come back in the session's conflict order regardless
+    of worker interleaving. *)
 
 (** {1 The batch service} *)
 
 type t
-(** A service instance: options, worker count, and the content-addressed
-    table and report caches. One instance is meant to live for many
-    {!analyze_batch} calls (that is what makes the caches pay). *)
+(** A service instance: options, worker count, clock, and the
+    content-addressed session and report caches. One instance is meant to
+    live for many {!analyze_batch} calls (that is what makes the caches
+    pay). *)
 
 val create :
   ?options:Cex.Driver.options ->
   ?jobs:int ->
   ?cache_capacity:int ->
+  ?clock:Cex_session.Clock.t ->
   unit ->
   t
+(** [clock] (default the monotonic system clock) drives every deadline and
+    stage timing of the service; inject a fake for deterministic timeout
+    tests. *)
 
 val jobs : t -> int
-val table_cache_counters : t -> Cache.counters
+val session_cache_counters : t -> Cache.counters
 val report_cache_counters : t -> Cache.counters
 
 type batch_result = {
@@ -68,9 +74,12 @@ type batch_result = {
 val analyze_batch :
   t -> (string * Cfg.Grammar.t) list -> batch_result list * Stats.summary
 (** Analyze many grammars in one run: sequential digest / cache-lookup /
-    table-build phase, then one global conflict-level fan-out across all
+    session-build phase, then one global conflict-level fan-out across all
     uncached grammars, each grammar metering its own cumulative budget.
-    Results are in input order. *)
+    Results are in input order; each fresh report carries its session's
+    per-stage trace {!Cex.Driver.report.metrics} (cumulative for sessions
+    reused from the cache, which also count a ["session"] [cache_hits]
+    counter). *)
 
 val analyze :
   t -> ?name:string -> Cfg.Grammar.t -> batch_result * Stats.summary

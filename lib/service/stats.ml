@@ -5,12 +5,13 @@ type summary = {
   wall_seconds : float;
   max_queue_depth : int;
   stages : (string * float) list;
-  table_cache : Cache.counters option;
+  session_cache : Cache.counters option;
   report_cache : Cache.counters option;
 }
 
 type t = {
   lock : Mutex.t;
+  clock : Cex_session.Clock.t;
   started : float;
   jobs : int;
   mutable grammars : int;
@@ -19,9 +20,10 @@ type t = {
   stages : (string, float ref) Hashtbl.t;
 }
 
-let create ~jobs =
+let create ?(clock = Cex_session.Clock.system) ~jobs () =
   { lock = Mutex.create ();
-    started = Unix.gettimeofday ();
+    clock;
+    started = Cex_session.Clock.now clock;
     jobs;
     grammars = 0;
     conflicts = 0;
@@ -45,17 +47,17 @@ let note_queue_depth t depth =
   with_lock t (fun () ->
       if depth > t.max_queue_depth then t.max_queue_depth <- depth)
 
-let finish ?table_cache ?report_cache t =
+let finish ?session_cache ?report_cache t =
   with_lock t (fun () ->
       { jobs = t.jobs;
         grammars = t.grammars;
         conflicts = t.conflicts;
-        wall_seconds = Unix.gettimeofday () -. t.started;
+        wall_seconds = Cex_session.Clock.now t.clock -. t.started;
         max_queue_depth = t.max_queue_depth;
         stages =
           Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.stages []
           |> List.sort (fun (a, _) (b, _) -> String.compare a b);
-        table_cache;
+        session_cache;
         report_cache })
 
 let pp_summary ppf (s : summary) =
@@ -66,10 +68,10 @@ let pp_summary ppf (s : summary) =
   List.iter
     (fun (name, secs) -> Fmt.pf ppf "@,stage %-16s %.3fs" name secs)
     s.stages;
-  (match s.table_cache with
-  | Some c -> Fmt.pf ppf "@,table cache:  %a" Cache.pp_counters c
+  (match s.session_cache with
+  | Some c -> Fmt.pf ppf "@,session cache: %a" Cache.pp_counters c
   | None -> ());
   (match s.report_cache with
-  | Some c -> Fmt.pf ppf "@,report cache: %a" Cache.pp_counters c
+  | Some c -> Fmt.pf ppf "@,report cache:  %a" Cache.pp_counters c
   | None -> ());
   Fmt.pf ppf "@]"

@@ -1,7 +1,8 @@
 (** Operational metrics for a service run: per-stage cumulative timings,
     scheduler queue depth, and throughput counters. A collector is mutated
     concurrently by the worker domains (mutex-guarded) and frozen into an
-    immutable {!summary} when the run completes. *)
+    immutable {!summary} when the run completes. All wall-clock reads go
+    through the injected {!Cex_session.Clock}. *)
 
 type t
 
@@ -14,11 +15,12 @@ type summary = {
   stages : (string * float) list;
       (** cumulative seconds per pipeline stage, sorted by stage name
           (e.g. ["table_build"], ["conflict_search"]) *)
-  table_cache : Cache.counters option;
+  session_cache : Cache.counters option;
   report_cache : Cache.counters option;
 }
 
-val create : jobs:int -> t
+val create : ?clock:Cex_session.Clock.t -> jobs:int -> unit -> t
+(** Default clock: the monotonic system clock. *)
 
 val add_stage : t -> string -> float -> unit
 (** Accumulate [seconds] into the named stage. *)
@@ -30,6 +32,7 @@ val note_queue_depth : t -> int -> unit
 (** Record an observed backlog; the summary keeps the maximum. *)
 
 val finish :
-  ?table_cache:Cache.counters -> ?report_cache:Cache.counters -> t -> summary
+  ?session_cache:Cache.counters -> ?report_cache:Cache.counters -> t ->
+  summary
 
 val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,34 @@
+type fake = {
+  mutable time : float;
+  mutable auto_advance : float;
+}
+
+type t =
+  | System
+  | Faked of fake
+
+let system = System
+
+(* bechamel's CLOCK_MONOTONIC stub returns nanoseconds as int64; every
+   consumer of this module works in float seconds. *)
+let monotonic_seconds () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+let now = function
+  | System -> monotonic_seconds ()
+  | Faked f ->
+    let t = f.time in
+    f.time <- t +. f.auto_advance;
+    t
+
+module Fake = struct
+  type t = fake
+
+  let now f = f.time
+  let advance f seconds = f.time <- f.time +. seconds
+  let set f time = f.time <- time
+  let set_auto_advance f seconds = f.auto_advance <- seconds
+end
+
+let fake ?(start = 0.0) ?(auto_advance = 0.0) () =
+  let f = { time = start; auto_advance } in
+  (Faked f, f)

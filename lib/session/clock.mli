@@ -1,0 +1,43 @@
+(** The one injectable time source of the analysis pipeline.
+
+    Every layer that needs the time — the driver's per-conflict accounting,
+    deadline checks inside the search loops, the baselines, the batch
+    scheduler's stats — reads it through a [Clock.t] threaded down from the
+    session, never from [Unix.gettimeofday] directly. Two consequences:
+
+    - the production clock is {e monotonic} (CLOCK_MONOTONIC via bechamel's
+      stub), so deadlines cannot fire early or late when the wall clock is
+      stepped by NTP;
+    - tests inject a {!fake} clock and drive simulated time by hand, making
+      timeout behavior deterministic without real sleeps. *)
+
+type t
+
+val system : t
+(** The monotonic system clock. Readings are seconds from an arbitrary
+    origin: only differences are meaningful. *)
+
+val now : t -> float
+(** Current reading in seconds. On a fake clock this returns the simulated
+    time and then advances it by the configured auto-advance step (0 by
+    default), so a test can both freeze time and script "each clock read
+    costs [s] seconds". *)
+
+(** Handle for driving a fake clock from a test. Not domain-safe: fake
+    clocks are for single-threaded deterministic tests. *)
+module Fake : sig
+  type t
+
+  val now : t -> float
+  (** Peek without advancing (unlike {!val:now} on the clock itself). *)
+
+  val advance : t -> float -> unit
+  val set : t -> float -> unit
+
+  val set_auto_advance : t -> float -> unit
+  (** Seconds added after every {!val:now} read through the clock. *)
+end
+
+val fake : ?start:float -> ?auto_advance:float -> unit -> t * Fake.t
+(** A simulated clock starting at [start] (default 0) plus the handle that
+    moves it. *)

@@ -1,0 +1,46 @@
+type t =
+  | Never
+  | At of { clock : Clock.t; expires : float }
+  | Budget of { clock : Clock.t; lock : Mutex.t; mutable left : float }
+
+let poll_interval = 256
+let poll_mask = poll_interval - 1
+
+let never = Never
+let at clock expires = At { clock; expires }
+let after clock seconds = At { clock; expires = Clock.now clock +. seconds }
+
+let budget clock seconds =
+  Budget { clock; lock = Mutex.create (); left = seconds }
+
+let clock = function
+  | Never -> None
+  | At { clock; _ } | Budget { clock; _ } -> Some clock
+
+let remaining = function
+  | Never -> None
+  | At { clock; expires } -> Some (expires -. Clock.now clock)
+  | Budget b ->
+    Mutex.lock b.lock;
+    let r = b.left in
+    Mutex.unlock b.lock;
+    Some r
+
+let expired d =
+  match remaining d with
+  | None -> false
+  | Some r -> r <= 0.0
+
+let consume d seconds =
+  match d with
+  | Never | At _ -> ()
+  | Budget b ->
+    Mutex.lock b.lock;
+    b.left <- b.left -. seconds;
+    Mutex.unlock b.lock
+
+let clamp d ~clock ~seconds =
+  match remaining d with
+  | None -> (after clock seconds, false)
+  | Some r when r <= 0.0 -> (Never, true)
+  | Some r -> (after clock (Float.min seconds r), false)

@@ -1,0 +1,66 @@
+(** Monotonic deadlines: the single budget mechanism of the pipeline.
+
+    A deadline is created once at the top of a run (batch scheduler or
+    sequential driver) and passed {e down} — driver, lookahead-path Dijkstra,
+    product-parser search, baselines — instead of each layer keeping its own
+    start timestamp and clamping logic. Two enforcement flavors share the
+    interface:
+
+    - a {e wall deadline} ({!at}/{!after}): expires when its clock passes a
+      fixed instant — the per-conflict time limit, and the sequential
+      cumulative budget;
+    - a {e work budget} ({!budget}): a mutex-guarded reservoir of seconds
+      drained by {!consume} — the batch scheduler's cumulative budget, which
+      must meter search time {e consumed} across worker domains rather than
+      wall time, so that running conflicts in parallel does not shrink the
+      effective budget.
+
+    {!clamp} derives the per-conflict wall deadline from the cumulative
+    deadline, subsuming the driver's old [clamp_to_budget] and the baselines'
+    hand-rolled [remaining ()] closures. *)
+
+type t
+
+val never : t
+(** Never expires; {!expired} is [false] and {!remaining} is [None]. *)
+
+val at : Clock.t -> float -> t
+(** Expires once the clock reading reaches the given instant. *)
+
+val after : Clock.t -> float -> t
+(** [after clock seconds] = [at clock (Clock.now clock +. seconds)]. *)
+
+val budget : Clock.t -> float -> t
+(** A consumable budget of [seconds], drained explicitly by {!consume};
+    thread-safe. *)
+
+val clock : t -> Clock.t option
+(** The time source behind the deadline ([None] for {!never}) — lets callees
+    measure elapsed time on the same clock that enforces their deadline. *)
+
+val remaining : t -> float option
+(** Seconds left ([None] = unbounded). May be negative once overshot. *)
+
+val expired : t -> bool
+(** [remaining <= 0]. A wall deadline expires {e at} the exact instant the
+    clock reaches it (important for fake-clock tests). *)
+
+val consume : t -> float -> unit
+(** Drain seconds from a {!budget} deadline; a no-op on the other flavors,
+    so callers can report consumed work unconditionally. *)
+
+val clamp : t -> clock:Clock.t -> seconds:float -> t * bool
+(** [clamp cumulative ~clock ~seconds] prepares the deadline for the next
+    unit of work under a cumulative budget: the returned deadline expires
+    after [min seconds (remaining cumulative)] on [clock], and the returned
+    flag is [true] when the cumulative budget is already exhausted (the
+    caller should skip the work entirely). *)
+
+val poll_interval : int
+(** How many loop iterations a search may run between deadline checks —
+    one shared constant (a power of two) for every polling loop, replacing
+    the scattered [land 255] / [land 1023] masks. Loops must also check the
+    deadline on entry so an already-expired deadline does no work. *)
+
+val poll_mask : int
+(** [poll_interval - 1], for [iterations land poll_mask = 0] checks. *)

@@ -1,0 +1,90 @@
+open Automaton
+
+type t = {
+  grammar : Cfg.Grammar.t;
+  analysis : Cfg.Analysis.t;
+  table : Parse_table.t;
+  lalr : Lalr.t;
+  lr0 : Lr0.t;
+  conflicts : Conflict.t list;
+  classifications : (Conflict.t * string) list;
+  clock : Clock.t;
+  trace : Trace.sink;
+  collector : Trace.collector option;
+}
+
+let create ?(clock = Clock.system) ?trace ?analysis grammar =
+  let collector, trace =
+    match trace with
+    | Some sink -> (None, sink)
+    | None ->
+      let c = Trace.collector () in
+      (Some c, Trace.collector_sink c)
+  in
+  let t0 = Clock.now clock in
+  let table = Parse_table.build ?analysis grammar in
+  Trace.span trace "table_build" (Clock.now clock -. t0);
+  let lalr = Parse_table.lalr table in
+  let lr0 = Parse_table.lr0 table in
+  let conflicts = Parse_table.conflicts table in
+  Trace.count trace "table_build" "states" (Lr0.n_states lr0);
+  Trace.count trace "table_build" "conflicts" (List.length conflicts);
+  let t1 = Clock.now clock in
+  let classifications =
+    List.map (fun c -> (c, Cex_lint.Lint.classification lalr c)) conflicts
+  in
+  Trace.span trace "classify" (Clock.now clock -. t1);
+  { grammar;
+    analysis = Lalr.analysis lalr;
+    table;
+    lalr;
+    lr0;
+    conflicts;
+    classifications;
+    clock;
+    trace;
+    collector }
+
+let of_table ?(clock = Clock.system) ?trace table =
+  let collector, trace =
+    match trace with
+    | Some sink -> (None, sink)
+    | None ->
+      let c = Trace.collector () in
+      (Some c, Trace.collector_sink c)
+  in
+  let lalr = Parse_table.lalr table in
+  let conflicts = Parse_table.conflicts table in
+  { grammar = Parse_table.grammar table;
+    analysis = Lalr.analysis lalr;
+    table;
+    lalr;
+    lr0 = Parse_table.lr0 table;
+    conflicts;
+    classifications =
+      List.map (fun c -> (c, Cex_lint.Lint.classification lalr c)) conflicts;
+    clock;
+    trace;
+    collector }
+
+let grammar t = t.grammar
+let analysis t = t.analysis
+let table t = t.table
+let lalr t = t.lalr
+let lr0 t = t.lr0
+let conflicts t = t.conflicts
+let clock t = t.clock
+let trace t = t.trace
+
+let classification t conflict =
+  let rec find = function
+    | [] -> Cex_lint.Lint.classification t.lalr conflict
+    | (c, code) :: rest ->
+      if c == conflict || c = conflict then code else find rest
+  in
+  find t.classifications
+
+let metrics t =
+  match t.collector with
+  | Some c -> Trace.metrics c
+  | None -> []

@@ -1,0 +1,53 @@
+(** The unified analysis session: one record owning every per-grammar
+    artifact of the pipeline — the grammar, its static {!Cfg.Analysis},
+    the LR(0) automaton, LALR lookaheads, parse table, conflict list and
+    the lint engine's static conflict classifications — plus the two
+    cross-cutting facilities threaded through every layer: the injectable
+    monotonic {!Clock} and the structured {!Trace} sink.
+
+    A session is constructed {e exactly once} per grammar ({!create} is the
+    only production call site of {!Automaton.Parse_table.build}) and passed
+    down: the driver, the batch scheduler, the lint engine, the evaluation
+    harness and both binaries all consume the same artifacts instead of
+    re-deriving them. *)
+
+open Automaton
+
+type t
+
+val create :
+  ?clock:Clock.t -> ?trace:Trace.sink -> ?analysis:Cfg.Analysis.t ->
+  Cfg.Grammar.t -> t
+(** Build the automaton, parse table, conflicts and conflict
+    classifications, emitting ["table_build"] and ["classify"] spans (and
+    [states]/[conflicts] counters) into the trace. Defaults: the monotonic
+    system clock, and a fresh private {!Trace.collector} whose snapshot
+    {!metrics} returns; pass an explicit [trace] to aggregate elsewhere (in
+    which case {!metrics} is empty). *)
+
+val of_table : ?clock:Clock.t -> ?trace:Trace.sink -> Parse_table.t -> t
+(** Wrap an already-built table (tests and tools); classifies conflicts but
+    emits no build span. *)
+
+val grammar : t -> Cfg.Grammar.t
+val analysis : t -> Cfg.Analysis.t
+val table : t -> Parse_table.t
+val lalr : t -> Lalr.t
+val lr0 : t -> Lr0.t
+
+val conflicts : t -> Conflict.t list
+(** Conflicts surviving precedence resolution, in automaton order. *)
+
+val classification : t -> Conflict.t -> string
+(** The lint engine's static classification, computed once at session
+    construction for every conflict of the table; conflicts outside that
+    list (e.g. precedence-resolved ones re-analyzed on demand) are
+    classified on the fly. *)
+
+val clock : t -> Clock.t
+val trace : t -> Trace.sink
+
+val metrics : t -> Trace.metrics
+(** Snapshot of the session's private collector (empty when an external
+    [trace] sink was injected). Cumulative across every analysis run
+    through this session. *)

@@ -1,0 +1,53 @@
+(** Structured trace sink: per-stage timings and counters threaded through
+    every pipeline layer.
+
+    A {!sink} is a pair of callbacks. Producers — session construction, the
+    driver, the Dijkstra path search, the product-parser search — emit one
+    {e span} per completed stage execution (stage name + seconds) and flat
+    {e counters} (Dijkstra relaxations, product-search configurations
+    explored, queue pushes, cache hits), always once per stage run, never
+    inside a hot loop. Consumers choose the sink:
+
+    - {!null} drops everything (zero overhead beyond a closure call);
+    - a {!collector} accumulates cumulative seconds/spans/counters per
+      stage, mutex-guarded so worker domains can share it, and freezes into
+      {!metrics} — the ["metrics"] object of the JSON report and the
+      [--trace] text section;
+    - {!make} builds a custom sink; the bench harness records every span to
+      compute per-stage medians. *)
+
+type metric = {
+  seconds : float;  (** cumulative seconds across spans *)
+  spans : int;  (** completed stage executions *)
+  counters : (string * int) list;  (** sorted by counter name *)
+}
+
+type metrics = (string * metric) list
+(** Per-stage snapshot, sorted by stage name. *)
+
+type sink
+
+val null : sink
+val make : on_span:(string -> float -> unit) -> on_count:(string -> string -> int -> unit) -> sink
+
+val span : sink -> string -> float -> unit
+(** [span sink stage seconds]: one completed execution of [stage]. *)
+
+val count : sink -> string -> string -> int -> unit
+(** [count sink stage counter n]: add [n] to a named counter of [stage]. *)
+
+val timed : sink -> Clock.t -> string -> (unit -> 'a) -> 'a
+(** Run a thunk and emit its duration as a span. *)
+
+(** {1 The accumulating collector} *)
+
+type collector
+
+val collector : unit -> collector
+val collector_sink : collector -> sink
+
+val metrics : collector -> metrics
+(** Snapshot; safe to call while domains are still emitting. *)
+
+val pp_metrics : Format.formatter -> metrics -> unit
+(** Text rendering for [--trace]: one line per stage. *)

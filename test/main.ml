@@ -16,6 +16,7 @@ let () =
       Test_report.suite;
       Test_lint.suite;
       Test_driver.suite;
+      Test_session.suite;
       Test_service.suite;
       Test_baselines.suite;
       Test_corpus.suite;

@@ -46,8 +46,8 @@ let test_every_entry_has_conflicts () =
    valid. *)
 let check_entry e =
   let g = Corpus.grammar e in
-  let table = Parse_table.build g in
-  let report = Cex.Driver.analyze_table ~options:test_options table in
+  let session = Cex_session.Session.create g in
+  let report = Cex.Driver.analyze_session ~options:test_options session in
   let earley = Earley.make g in
   let unifying_found = ref false in
   List.iter

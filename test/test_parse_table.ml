@@ -98,10 +98,10 @@ let test_resolved_conflicts_recorded () =
     (find "POW" "POW" = Some Parse_table.Resolved_shift);
   (* And each resolved pair still admits a unifying counterexample: the
      ambiguity is real, just settled. *)
-  let lalr = Parse_table.lalr t in
+  let session = Cex_session.Session.of_table t in
   List.iter
     (fun (c, _) ->
-      match (Cex.Driver.analyze_conflict lalr c).Cex.Driver.outcome with
+      match (Cex.Driver.analyze_conflict session c).Cex.Driver.outcome with
       | Cex.Driver.Found_unifying -> ()
       | _ -> Alcotest.fail "resolved conflict should be a real ambiguity")
     resolved

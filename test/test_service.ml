@@ -80,9 +80,9 @@ let test_cache_hit_on_reanalysis () =
     counters.Cache.hits;
   Alcotest.(check bool) "same report value" true
     (r1.Scheduler.report == r2.Scheduler.report);
-  check_counters "table cache: one build, no rebuild"
+  check_counters "session cache: one build, no rebuild"
     { Cache.hits = 0; misses = 1; evictions = 0 }
-    (Scheduler.table_cache_counters service)
+    (Scheduler.session_cache_counters service)
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler determinism: conflict-level parallelism must not change any
@@ -110,17 +110,22 @@ let test_determinism () =
 
 let test_scheduler_matches_driver () =
   let g = Spec_parser.grammar_of_string_exn Corpus.Paper_grammars.figure1 in
-  let table = Automaton.Parse_table.build g in
   let normalize r =
     Cex_service.Json.to_string
       (Cex_service.Json.map_floats
          (fun _ -> 0.0)
          (Cex_service.Json_report.report_to_json r))
   in
+  (* Two independent sessions of the same grammar: the trace collectors are
+     per-session, so the metrics objects (deterministic span and counter
+     totals) must agree too. *)
   Alcotest.(check string)
-    "parallel analyze_table equals the sequential driver"
-    (normalize (Cex.Driver.analyze_table table))
-    (normalize (Cex_service.Scheduler.analyze_table ~jobs:4 table))
+    "parallel analyze_session equals the sequential driver"
+    (normalize
+       (Cex.Driver.analyze_session (Cex_session.Session.create g)))
+    (normalize
+       (Cex_service.Scheduler.analyze_session ~jobs:4
+          (Cex_session.Session.create g)))
 
 let test_map_order_and_errors () =
   let doubled = Cex_service.Scheduler.map ~jobs:3 (fun x -> 2 * x)
@@ -189,7 +194,7 @@ let test_json_parser () =
 
 let golden =
   {|{
-  "schema_version": 2,
+  "schema_version": 3,
   "stats": {
     "jobs": 1,
     "grammars": 1,
@@ -201,7 +206,7 @@ let golden =
       "table_build": 0.0
     },
     "cache": {
-      "tables": {
+      "sessions": {
         "hits": 0,
         "misses": 1,
         "evictions": 0
@@ -224,6 +229,37 @@ let golden =
         "nonunifying": 0,
         "timeouts": 0,
         "total_elapsed": 0.0
+      },
+      "metrics": {
+        "classify": {
+          "seconds": 0.0,
+          "spans": 1,
+          "counters": {}
+        },
+        "path_search": {
+          "seconds": 0.0,
+          "spans": 1,
+          "counters": {
+            "pops": 33,
+            "relaxations": 33
+          }
+        },
+        "product_search": {
+          "seconds": 0.0,
+          "spans": 1,
+          "counters": {
+            "configs_explored": 135,
+            "queue_pushes": 255
+          }
+        },
+        "table_build": {
+          "seconds": 0.0,
+          "spans": 1,
+          "counters": {
+            "conflicts": 1,
+            "states": 10
+          }
+        }
       },
       "conflicts": [
         {

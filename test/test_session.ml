@@ -1,0 +1,283 @@
+open Cfg
+open Cex_session
+
+(* The session layer: injectable clocks, monotonic deadlines and the trace
+   collector. Every timeout here fires at an exact simulated instant on a
+   fake clock — no real sleeps anywhere in this suite. *)
+
+let feq = Alcotest.float 1e-9
+
+(* ------------------------------------------------------------------ *)
+(* Fake clock. *)
+
+let test_fake_clock () =
+  let clock, fake = Clock.fake ~start:5.0 () in
+  Alcotest.check feq "starts at start" 5.0 (Clock.now clock);
+  Alcotest.check feq "no auto-advance by default" 5.0 (Clock.now clock);
+  Clock.Fake.advance fake 2.0;
+  Alcotest.check feq "advance" 7.0 (Clock.now clock);
+  Clock.Fake.set fake 100.0;
+  Alcotest.check feq "set" 100.0 (Clock.Fake.now fake);
+  Clock.Fake.set_auto_advance fake 3.0;
+  Alcotest.check feq "read returns pre-advance time" 100.0 (Clock.now clock);
+  Alcotest.check feq "then advances" 103.0 (Clock.Fake.now fake);
+  Alcotest.check feq "peek does not advance" 103.0 (Clock.Fake.now fake)
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines. *)
+
+let test_deadline_never () =
+  Alcotest.(check bool) "never expires" false (Deadline.expired Deadline.never);
+  Alcotest.(check bool) "unbounded" true
+    (Deadline.remaining Deadline.never = None);
+  Alcotest.(check bool) "no clock" true
+    (Deadline.clock Deadline.never = None);
+  (* consume is a no-op, not an error. *)
+  Deadline.consume Deadline.never 1e9;
+  Alcotest.(check bool) "still unexpired" false
+    (Deadline.expired Deadline.never)
+
+let test_deadline_wall () =
+  let clock, fake = Clock.fake ~start:10.0 () in
+  let d = Deadline.at clock 15.0 in
+  Alcotest.(check (option feq)) "remaining" (Some 5.0) (Deadline.remaining d);
+  Alcotest.(check bool) "not yet" false (Deadline.expired d);
+  Clock.Fake.set fake 14.999;
+  Alcotest.(check bool) "just before the instant" false (Deadline.expired d);
+  (* The satellite requirement: a wall deadline fires AT the exact simulated
+     instant, not one poll later. *)
+  Clock.Fake.set fake 15.0;
+  Alcotest.(check bool) "expired at the exact instant" true
+    (Deadline.expired d);
+  Deadline.consume d 1e9;
+  Clock.Fake.set fake 10.0;
+  Alcotest.(check bool) "consume is a no-op on wall deadlines" false
+    (Deadline.expired d);
+  let d' = Deadline.after clock 5.0 in
+  Clock.Fake.advance fake 5.0;
+  Alcotest.(check bool) "after = at (now + seconds)" true
+    (Deadline.expired d')
+
+let test_deadline_budget () =
+  let clock, _fake = Clock.fake () in
+  let d = Deadline.budget clock 10.0 in
+  Alcotest.(check bool) "fresh budget" false (Deadline.expired d);
+  Deadline.consume d 4.0;
+  Alcotest.(check (option feq)) "drained" (Some 6.0) (Deadline.remaining d);
+  Deadline.consume d 6.0;
+  Alcotest.(check bool) "exhausted at exactly zero" true (Deadline.expired d)
+
+let test_deadline_clamp () =
+  let clock, _fake = Clock.fake () in
+  (* Unbounded cumulative budget: the per-conflict timeout stands alone. *)
+  let d, exhausted = Deadline.clamp Deadline.never ~clock ~seconds:5.0 in
+  Alcotest.(check bool) "never is not exhausted" false exhausted;
+  Alcotest.(check (option feq)) "per-conflict limit" (Some 5.0)
+    (Deadline.remaining d);
+  (* A smaller cumulative remainder wins over the per-conflict timeout. *)
+  let b = Deadline.budget clock 3.0 in
+  let d, exhausted = Deadline.clamp b ~clock ~seconds:5.0 in
+  Alcotest.(check bool) "budget not exhausted" false exhausted;
+  Alcotest.(check (option feq)) "clamped to the remainder" (Some 3.0)
+    (Deadline.remaining d);
+  (* An exhausted cumulative budget tells the caller to skip the work. *)
+  Deadline.consume b 3.0;
+  let _, exhausted = Deadline.clamp b ~clock ~seconds:5.0 in
+  Alcotest.(check bool) "exhausted budget reported" true exhausted
+
+let test_poll_constants () =
+  Alcotest.(check int) "mask = interval - 1"
+    (Deadline.poll_interval - 1) Deadline.poll_mask;
+  Alcotest.(check int) "interval is a power of two" 0
+    (Deadline.poll_interval land Deadline.poll_mask)
+
+(* ------------------------------------------------------------------ *)
+(* Trace collector. *)
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_trace_collector () =
+  let c = Trace.collector () in
+  let sink = Trace.collector_sink c in
+  Trace.span sink "alpha" 1.5;
+  Trace.span sink "alpha" 1.5;
+  Trace.count sink "alpha" "x" 2;
+  Trace.count sink "alpha" "x" 3;
+  Trace.span sink "beta" 0.25;
+  Trace.count sink "beta" "y" 1;
+  match Trace.metrics c with
+  | [ ("alpha", a); ("beta", b) ] ->
+    Alcotest.check feq "alpha seconds accumulate" 3.0 a.Trace.seconds;
+    Alcotest.(check int) "alpha spans" 2 a.Trace.spans;
+    Alcotest.(check (list (pair string int))) "alpha counters accumulate"
+      [ ("x", 5) ] a.Trace.counters;
+    Alcotest.(check int) "beta spans" 1 b.Trace.spans;
+    Alcotest.(check (list (pair string int))) "beta counters"
+      [ ("y", 1) ] b.Trace.counters;
+    let rendered = Format.asprintf "%a" Trace.pp_metrics (Trace.metrics c) in
+    Alcotest.(check bool) "pp mentions the stage" true
+      (contains_substring rendered "alpha")
+  | m -> Alcotest.failf "expected two sorted stages, got %d" (List.length m)
+
+let test_trace_timed () =
+  let c = Trace.collector () in
+  let sink = Trace.collector_sink c in
+  let clock, _fake = Clock.fake ~auto_advance:2.0 () in
+  (* Two clock reads bracket the thunk: on this fake clock the span is
+     exactly 2.0 simulated seconds. *)
+  let r = Trace.timed sink clock "stage" (fun () -> 42) in
+  Alcotest.(check int) "thunk result" 42 r;
+  match Trace.metrics c with
+  | [ ("stage", m) ] ->
+    Alcotest.check feq "span duration on the fake clock" 2.0 m.Trace.seconds;
+    Alcotest.(check int) "one span" 1 m.Trace.spans
+  | _ -> Alcotest.fail "expected one stage"
+
+let test_null_sink () =
+  (* The null sink drops everything without error. *)
+  Trace.span Trace.null "s" 1.0;
+  Trace.count Trace.null "s" "c" 1;
+  let clock, _ = Clock.fake () in
+  Alcotest.(check int) "timed still runs the thunk" 7
+    (Trace.timed Trace.null clock "s" (fun () -> 7))
+
+(* ------------------------------------------------------------------ *)
+(* Session construction. *)
+
+let figure1 () =
+  Spec_parser.grammar_of_string_exn Corpus.Paper_grammars.figure1
+
+let test_session_artifacts () =
+  let session = Session.create (figure1 ()) in
+  Alcotest.(check int) "three conflicts" 3
+    (List.length (Session.conflicts session));
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "every conflict classified" true
+        (Session.classification session c <> ""))
+    (Session.conflicts session);
+  let stages = List.map fst (Session.metrics session) in
+  Alcotest.(check bool) "table_build span recorded" true
+    (List.mem "table_build" stages);
+  Alcotest.(check bool) "classify span recorded" true
+    (List.mem "classify" stages)
+
+let test_session_external_sink () =
+  let spans = ref [] in
+  let sink =
+    Trace.make
+      ~on_span:(fun stage _ -> spans := stage :: !spans)
+      ~on_count:(fun _ _ _ -> ())
+  in
+  let session = Session.create ~trace:sink (figure1 ()) in
+  Alcotest.(check bool) "external sink received the build span" true
+    (List.mem "table_build" !spans);
+  Alcotest.(check int) "no private collector" 0
+    (List.length (Session.metrics session))
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic timeouts through the real search code. *)
+
+(* An already-expired per-conflict deadline must not explore a single
+   configuration: the entry check fires before the loop. With auto-advance
+   3.0 and the deadline at instant 2.0 the reads are scripted — [started]
+   reads 0.0, the entry check reads 3.0 (expired), the stats read 6.0 — so
+   the reported elapsed time is exactly 6.0 simulated seconds. *)
+let test_product_search_entry_check () =
+  let g = figure1 () in
+  let table = Automaton.Parse_table.build g in
+  let lalr = Automaton.Parse_table.lalr table in
+  let c = List.hd (Automaton.Parse_table.conflicts table) in
+  let path =
+    Option.get
+      (Cex.Lookahead_path.find lalr ~conflict_state:c.Automaton.Conflict.state
+         ~reduce_item:(Automaton.Conflict.reduce_item c)
+         ~terminal:c.Automaton.Conflict.terminal)
+  in
+  let clock, _fake = Clock.fake ~auto_advance:3.0 () in
+  match
+    Cex.Product_search.search
+      ~deadline:(Deadline.at clock 2.0)
+      lalr ~conflict:c
+      ~path_states:(Cex.Lookahead_path.states_on_path path)
+  with
+  | Cex.Product_search.Timeout stats ->
+    Alcotest.(check int) "no configuration explored" 0
+      stats.Cex.Product_search.configs_explored;
+    Alcotest.check feq "elapsed at the exact simulated instant" 6.0
+      stats.Cex.Product_search.elapsed
+  | Cex.Product_search.Unifying _ | Cex.Product_search.Exhausted _ ->
+    Alcotest.fail "expired deadline must time out"
+
+(* The cumulative budget mid-batch: on a fake clock where every read costs
+   10 simulated seconds, the first conflict blows through both its 5 s
+   per-conflict deadline (Search_timeout) and the 15 s cumulative budget —
+   so the driver must skip the remaining conflicts outright. No wall-clock
+   time passes. *)
+let test_cumulative_budget_mid_batch () =
+  let clock, _fake = Clock.fake ~auto_advance:10.0 () in
+  let session = Session.create ~clock (figure1 ()) in
+  let options =
+    { Cex.Driver.default_options with
+      Cex.Driver.per_conflict_timeout = 5.0;
+      cumulative_timeout = 15.0 }
+  in
+  let r = Cex.Driver.analyze_session ~options session in
+  Alcotest.(check (list string))
+    "first conflict times out, the rest are skipped"
+    [ "search_timeout"; "skipped_search"; "skipped_search" ]
+    (List.map
+       (fun cr ->
+         match cr.Cex.Driver.outcome with
+         | Cex.Driver.Found_unifying -> "found_unifying"
+         | Cex.Driver.No_unifying_exists -> "no_unifying_exists"
+         | Cex.Driver.Search_timeout -> "search_timeout"
+         | Cex.Driver.Skipped_search -> "skipped_search")
+       r.Cex.Driver.conflict_reports);
+  Alcotest.(check int) "all three count as timeouts" 3
+    (Cex.Driver.n_timeout r);
+  (* Even skipped conflicts carry a nonunifying counterexample. *)
+  List.iter
+    (fun cr ->
+      Alcotest.(check bool) "nonunifying fallback attached" true
+        (cr.Cex.Driver.counterexample <> None))
+    r.Cex.Driver.conflict_reports
+
+(* Control: the same driver and grammar on a frozen fake clock (no
+   auto-advance) never times out — proof the timeouts above came from the
+   simulated time, not from the machinery. *)
+let test_frozen_clock_never_times_out () =
+  let clock, _fake = Clock.fake () in
+  let session = Session.create ~clock (figure1 ()) in
+  let r = Cex.Driver.analyze_session session in
+  Alcotest.(check int) "all unifying" 3 (Cex.Driver.n_unifying r);
+  Alcotest.(check int) "no timeouts" 0 (Cex.Driver.n_timeout r);
+  Alcotest.check feq "zero simulated elapsed time" 0.0
+    r.Cex.Driver.total_elapsed
+
+let suite =
+  ( "session",
+    [ Alcotest.test_case "fake clock" `Quick test_fake_clock;
+      Alcotest.test_case "deadline: never" `Quick test_deadline_never;
+      Alcotest.test_case "deadline: wall, exact instant" `Quick
+        test_deadline_wall;
+      Alcotest.test_case "deadline: consumable budget" `Quick
+        test_deadline_budget;
+      Alcotest.test_case "deadline: clamp" `Quick test_deadline_clamp;
+      Alcotest.test_case "deadline: poll constants" `Quick
+        test_poll_constants;
+      Alcotest.test_case "trace: collector" `Quick test_trace_collector;
+      Alcotest.test_case "trace: timed spans" `Quick test_trace_timed;
+      Alcotest.test_case "trace: null sink" `Quick test_null_sink;
+      Alcotest.test_case "session: artifacts" `Quick test_session_artifacts;
+      Alcotest.test_case "session: external sink" `Quick
+        test_session_external_sink;
+      Alcotest.test_case "product search: entry check" `Quick
+        test_product_search_entry_check;
+      Alcotest.test_case "cumulative budget mid-batch" `Quick
+        test_cumulative_budget_mid_batch;
+      Alcotest.test_case "frozen clock control" `Quick
+        test_frozen_clock_never_times_out ] )

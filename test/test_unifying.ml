@@ -214,8 +214,10 @@ let prop_unifying_sound =
           | None -> true
           | Some path -> (
             match
-              Cex.Product_search.search ~time_limit:0.5 ~max_configs:20_000
-                lalr ~conflict:c
+              Cex.Product_search.search
+                ~deadline:
+                  (Cex_session.Deadline.after Cex_session.Clock.system 0.5)
+                ~max_configs:20_000 lalr ~conflict:c
                 ~path_states:(Cex.Lookahead_path.states_on_path path)
             with
             | Cex.Product_search.Unifying (u, _) ->
