@@ -21,8 +21,12 @@ let make_options timeout cumulative extended =
 (* ------------------------------------------------------------------ *)
 (* The one-grammar command (the original behavior, plus --jobs/--json). *)
 
-(* Exit codes shared by analyze and batch: 2 when conflicts remain, else 3
-   when --lint-error was given and an error-severity diagnostic fired. *)
+(* Exit codes shared by analyze and batch: 4 when the counterexample oracle
+   rejected an emitted counterexample (--validate), else 2 when conflicts
+   remain, else 3 when --lint-error was given and an error-severity
+   diagnostic fired. *)
+let validation_failed report = Cex_validate.Oracle.n_invalid report > 0
+
 let lint_exit ~lint_error ~has_conflicts diagnostics =
   if has_conflicts then 2
   else if
@@ -44,7 +48,7 @@ let pp_trace_section ppf metrics =
     Fmt.pf ppf "@.[trace]@.%a" Cex_session.Trace.pp_metrics metrics
 
 let run path timeout cumulative extended jobs json trace lint lint_error
-    show_states show_naive classify_lr1 show_resolved =
+    validate show_states show_naive classify_lr1 show_resolved =
   match load_grammar path with
   | Error msg ->
     Fmt.epr "error: %s@." msg;
@@ -59,6 +63,13 @@ let run path timeout cumulative extended jobs json trace lint lint_error
     let report =
       if jobs <= 1 then Cex.Driver.analyze_session ~options session
       else Cex_service.Scheduler.analyze_session ~options ~jobs session
+    in
+    let report =
+      if validate then
+        Cex_validate.Oracle.validate_report
+          (Cex_validate.Oracle.of_session session)
+          report
+      else report
     in
     if json then
       Fmt.pr "%s@."
@@ -128,9 +139,11 @@ let run path timeout cumulative extended jobs json trace lint lint_error
       if trace then
         Fmt.pr "%a@?" pp_trace_section report.Cex.Driver.metrics
     end;
-    lint_exit ~lint_error
-      ~has_conflicts:(Automaton.Parse_table.conflicts table <> [])
-      [ diagnostics ]
+    if validate && validation_failed report then 4
+    else
+      lint_exit ~lint_error
+        ~has_conflicts:(Automaton.Parse_table.conflicts table <> [])
+        [ diagnostics ]
 
 (* ------------------------------------------------------------------ *)
 (* The batch command. *)
@@ -160,8 +173,17 @@ let load_batch_entries paths use_corpus =
   in
   if errors <> [] then Error (String.concat "\n" errors) else Ok entries
 
+(* Re-verify a batch result's report through the oracle; the oracle is
+   rebuilt from the report's table, so cached reports validate too. *)
+let validate_batch_result (r : Cex_service.Scheduler.batch_result) =
+  let oracle = Cex_validate.Oracle.create r.Cex_service.Scheduler.report.Cex.Driver.table in
+  { r with
+    Cex_service.Scheduler.report =
+      Cex_validate.Oracle.validate_report oracle
+        r.Cex_service.Scheduler.report }
+
 let run_batch paths use_corpus timeout cumulative extended jobs json trace
-    lint lint_error cache_size repeat =
+    lint lint_error validate cache_size repeat =
   match load_batch_entries paths use_corpus with
   | Error msg ->
     Fmt.epr "error: %s@." msg;
@@ -182,6 +204,9 @@ let run_batch paths use_corpus timeout cumulative extended jobs json trace
       stats := Some st
     done;
     let results = !results and stats = Option.get !stats in
+    let results =
+      if validate then List.map validate_batch_result results else results
+    in
     let diagnostics =
       List.map
         (fun (r : Cex_service.Scheduler.batch_result) ->
@@ -210,6 +235,21 @@ let run_batch paths use_corpus timeout cumulative extended jobs json trace
             (Cex.Driver.n_timeout report)
             report.Cex.Driver.total_elapsed
             (if r.Cex_service.Scheduler.from_cache then "  [cached]" else "");
+          if validate then begin
+            let invalid = Cex_validate.Oracle.n_invalid report in
+            Fmt.pr "    validation: %d valid%s@."
+              (Cex_validate.Oracle.n_validated report)
+              (if invalid = 0 then "" else Fmt.str ", %d INVALID" invalid);
+            List.iter
+              (fun (cr : Cex.Driver.conflict_report) ->
+                match cr.Cex.Driver.validation with
+                | Cex.Driver.Validation_failed codes ->
+                  Fmt.pr "      state %d: %s@."
+                    cr.Cex.Driver.conflict.Automaton.Conflict.state
+                    (String.concat ", " codes)
+                | _ -> ())
+              (Cex_validate.Oracle.invalid_reports report)
+          end;
           Option.iter
             (fun diags ->
               let g = Cex.Driver.grammar report in
@@ -223,13 +263,74 @@ let run_batch paths use_corpus timeout cumulative extended jobs json trace
         results diagnostics;
       Fmt.pr "@.%a@." Cex_service.Stats.pp_summary stats
     end;
-    lint_exit ~lint_error
-      ~has_conflicts:
-        (List.exists
+    if
+      validate
+      && List.exists
            (fun (r : Cex_service.Scheduler.batch_result) ->
-             r.Cex_service.Scheduler.report.Cex.Driver.conflict_reports <> [])
-           results)
-      diagnostics
+             validation_failed r.Cex_service.Scheduler.report)
+           results
+    then 4
+    else
+      lint_exit ~lint_error
+        ~has_conflicts:
+          (List.exists
+             (fun (r : Cex_service.Scheduler.batch_result) ->
+               r.Cex_service.Scheduler.report.Cex.Driver.conflict_reports <> [])
+             results)
+        diagnostics
+
+(* ------------------------------------------------------------------ *)
+(* The validate command: analyze, then machine-check every emitted
+   counterexample through the oracle. Unlike analyze/batch it exits 0 even
+   when conflicts exist — its verdict is about the counterexamples, not the
+   grammar — and 4 as soon as one fails the oracle (the CI hard gate). *)
+
+let run_validate paths use_corpus timeout cumulative extended jobs json =
+  match load_batch_entries paths use_corpus with
+  | Error msg ->
+    Fmt.epr "error: %s@." msg;
+    1
+  | Ok [] ->
+    Fmt.epr "error: no grammars to validate (pass files or --corpus)@.";
+    1
+  | Ok entries ->
+    let options = make_options timeout cumulative extended in
+    let service = Cex_service.Scheduler.create ~options ~jobs () in
+    let results, stats = Cex_service.Scheduler.analyze_batch service entries in
+    let results = List.map validate_batch_result results in
+    if json then
+      Fmt.pr "%s@."
+        (Cex_service.Json.to_string
+           (Cex_service.Json_report.batch_to_json ~stats results))
+    else
+      List.iter
+        (fun (r : Cex_service.Scheduler.batch_result) ->
+          let report = r.Cex_service.Scheduler.report in
+          let invalid = Cex_validate.Oracle.n_invalid report in
+          Fmt.pr "%-16s %3d conflicts: %3d counterexamples valid%s@."
+            r.Cex_service.Scheduler.name
+            (List.length report.Cex.Driver.conflict_reports)
+            (Cex_validate.Oracle.n_validated report)
+            (if invalid = 0 then "" else Fmt.str ", %d INVALID" invalid);
+          List.iter
+            (fun (cr : Cex.Driver.conflict_report) ->
+              match cr.Cex.Driver.validation with
+              | Cex.Driver.Validation_failed codes ->
+                Fmt.pr "    state %d, terminal %d [%s]: %s@."
+                  cr.Cex.Driver.conflict.Automaton.Conflict.state
+                  cr.Cex.Driver.conflict.Automaton.Conflict.terminal
+                  (Cex_service.Json_report.outcome_string cr.Cex.Driver.outcome)
+                  (String.concat ", " codes)
+              | _ -> ())
+            (Cex_validate.Oracle.invalid_reports report))
+        results;
+    if
+      List.exists
+        (fun (r : Cex_service.Scheduler.batch_result) ->
+          validation_failed r.Cex_service.Scheduler.report)
+        results
+    then 4
+    else 0
 
 (* ------------------------------------------------------------------ *)
 (* The lint command: static diagnostics only, no counterexample search. *)
@@ -372,6 +473,15 @@ let lint_error_arg =
         ~doc:"Like $(b,--lint), and exit 3 when any error-severity \
               diagnostic fires (conflicts still exit 2).")
 
+let validate_arg =
+  Arg.(
+    value & flag
+    & info [ "validate" ]
+        ~doc:"Machine-check every emitted counterexample through the \
+              validation oracle (exit 4 if any check fails). Verdicts are \
+              printed per conflict and embedded in the JSON \
+              $(b,validation) objects.")
+
 let path_arg =
   Arg.(
     required
@@ -406,8 +516,8 @@ let analyze_term =
   in
   Term.(
     const run $ path_arg $ timeout_arg $ cumulative_arg $ extended_arg
-    $ jobs_arg $ json_arg $ trace_arg $ lint_arg $ lint_error_arg $ states_arg
-    $ naive_arg $ lr1_arg $ resolved_arg)
+    $ jobs_arg $ json_arg $ trace_arg $ lint_arg $ lint_error_arg
+    $ validate_arg $ states_arg $ naive_arg $ lr1_arg $ resolved_arg)
 
 let analyze_cmd =
   Cmd.v
@@ -449,7 +559,32 @@ let batch_cmd =
     Term.(
       const run_batch $ paths_arg $ corpus_arg $ timeout_arg $ cumulative_arg
       $ extended_arg $ jobs_arg $ json_arg $ trace_arg $ lint_arg
-      $ lint_error_arg $ cache_arg $ repeat_arg)
+      $ lint_error_arg $ validate_arg $ cache_arg $ repeat_arg)
+
+let validate_cmd =
+  let paths_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"GRAMMAR"
+          ~doc:"Grammar files in the yacc-like format (zero or more).")
+  in
+  let corpus_arg =
+    Arg.(
+      value & flag
+      & info [ "corpus" ]
+          ~doc:"Also validate every grammar of the built-in evaluation \
+                corpus (the paper's Table 1).")
+  in
+  let doc =
+    "analyze grammars and machine-check every emitted counterexample \
+     through the validation oracle; exits 4 when a counterexample fails a \
+     check, 0 otherwise (even when conflicts exist)"
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc)
+    Term.(
+      const run_validate $ paths_arg $ corpus_arg $ timeout_arg
+      $ cumulative_arg $ extended_arg $ jobs_arg $ json_arg)
 
 let lint_cmd =
   let paths_arg =
@@ -498,7 +633,8 @@ let cmd =
   in
   Cmd.group
     (Cmd.info "lrcex" ~version:"1.1.0" ~doc)
-    ~default:analyze_term [ analyze_cmd; batch_cmd; lint_cmd ]
+    ~default:analyze_term
+    [ analyze_cmd; batch_cmd; validate_cmd; lint_cmd ]
 
 (* Backward compatibility: `lrcex my.y` (no subcommand) still analyzes the
    file, as the original single-command CLI did. cmdliner groups would
@@ -510,6 +646,7 @@ let () =
       Array.length argv > 1
       && (argv.(1) = "-" || String.length argv.(1) = 0 || argv.(1).[0] <> '-')
       && argv.(1) <> "analyze" && argv.(1) <> "batch" && argv.(1) <> "lint"
+      && argv.(1) <> "validate"
     then
       Array.concat
         [ [| argv.(0); "analyze" |]; Array.sub argv 1 (Array.length argv - 1) ]

@@ -1,55 +1,113 @@
 open Cfg
 
+type reason =
+  | Unexpected_token
+  | Invalid_token
+  | Table_defect of string
+
 type error = {
   position : int;
   state : int;
   terminal : int;
+  reason : reason;
 }
 
 let pp_error g ppf e =
-  Fmt.pf ppf "syntax error at input position %d (state %d, next symbol %s)"
-    e.position e.state (Grammar.terminal_name g e.terminal)
+  match e.reason with
+  | Unexpected_token ->
+    Fmt.pf ppf "syntax error at input position %d (state %d, next symbol %s)"
+      e.position e.state (Grammar.terminal_name g e.terminal)
+  | Invalid_token ->
+    Fmt.pf ppf
+      "invalid token at input position %d: terminal index %d is %s"
+      e.position e.terminal
+      (if e.terminal = 0 then "the end-of-input marker $"
+       else "out of range")
+  | Table_defect msg ->
+    Fmt.pf ppf
+      "defective parse table at input position %d (state %d, next symbol \
+       %s): %s"
+      e.position e.state (Grammar.terminal_name g e.terminal) msg
 
 (* A classic table-driven LR driver. The stacks hold states and the
    derivations of the symbols shifted/reduced so far; on acceptance the single
-   remaining derivation is the parse tree of the start symbol. *)
+   remaining derivation is the parse tree of the start symbol.
+
+   End of input is explicit: the input is given without the final [$], and
+   the driver feeds the grammar's EOF terminal (index 0) once the list is
+   empty. An input containing the EOF terminal itself, or any out-of-range
+   index, is rejected up front with [Invalid_token] rather than silently
+   treated as end of input. Structural defects of the table — a missing
+   goto, a reduction popping past the bottom of the stack, acceptance with a
+   malformed stack — are reported as [Table_defect] errors instead of
+   [assert false], so replaying a degenerate table (as the validation
+   oracle and the fuzzer do) cannot kill the process. *)
 let parse table input =
   let g = Parse_table.grammar table in
-  let rec drive states derivs input position =
-    let state = List.hd states in
-    let terminal, rest, position' =
-      match input with
-      | [] -> 0, [], position
-      | t :: rest -> t, rest, position + 1
-    in
-    match Parse_table.action table state terminal with
-    | Parse_table.Shift target ->
-      drive (target :: states) (Derivation.leaf (Symbol.Terminal terminal) :: derivs)
-        rest position'
-    | Parse_table.Reduce prod ->
-      let p = Grammar.production g prod in
-      let n = Array.length p.Grammar.rhs in
-      let rec pop k states derivs children =
-        if k = 0 then states, derivs, children
-        else
-          match states, derivs with
-          | _ :: states', d :: derivs' ->
-            pop (k - 1) states' derivs' (d :: children)
-          | _, _ -> assert false
-      in
-      let states, derivs, children = pop n states derivs [] in
-      let node = Derivation.node g prod children in
-      let state' = List.hd states in
-      (match Parse_table.goto table state' p.Grammar.lhs with
-      | Some target -> drive (target :: states) (node :: derivs) input position
-      | None -> assert false)
-    | Parse_table.Accept -> (
-      match derivs with
-      | [ d ] -> Ok d
-      | _ -> assert false)
-    | Parse_table.Error -> Result.Error { position; state; terminal }
+  let eof = 0 in
+  let rec check_input position = function
+    | [] -> None
+    | t :: rest ->
+      if t = eof || t < 0 || t >= Grammar.n_terminals g then
+        Some
+          { position; state = Lr0.start_state; terminal = t;
+            reason = Invalid_token }
+      else check_input (position + 1) rest
   in
-  drive [ Lr0.start_state ] [] input 0
+  match check_input 0 input with
+  | Some e -> Result.Error e
+  | None ->
+    let rec drive states derivs input position =
+      let state = match states with s :: _ -> s | [] -> assert false in
+      let terminal, rest, position' =
+        match input with
+        | [] -> eof, [], position
+        | t :: rest -> t, rest, position + 1
+      in
+      let defect msg =
+        Result.Error { position; state; terminal; reason = Table_defect msg }
+      in
+      match Parse_table.action table state terminal with
+      | Parse_table.Shift target ->
+        drive (target :: states)
+          (Derivation.leaf (Symbol.Terminal terminal) :: derivs)
+          rest position'
+      | Parse_table.Reduce prod ->
+        let p = Grammar.production g prod in
+        let n = Array.length p.Grammar.rhs in
+        let rec pop k states derivs children =
+          if k = 0 then Some (states, derivs, children)
+          else
+            match states, derivs with
+            | _ :: (_ :: _ as states'), d :: derivs' ->
+              pop (k - 1) states' derivs' (d :: children)
+            | _, _ -> None
+        in
+        (match pop n states derivs [] with
+        | None ->
+          defect
+            (Fmt.str "reduction by %a pops past the bottom of the stack"
+               (Grammar.pp_production g) p)
+        | Some (states, derivs, children) -> (
+          let node = Derivation.node g prod children in
+          let state' = match states with s :: _ -> s | [] -> assert false in
+          match Parse_table.goto table state' p.Grammar.lhs with
+          | Some target -> drive (target :: states) (node :: derivs) input position
+          | None ->
+            defect
+              (Fmt.str "state %d has no goto on %s" state'
+                 (Grammar.nonterminal_name g p.Grammar.lhs))))
+      | Parse_table.Accept -> (
+        match derivs with
+        | [ d ] -> Ok d
+        | _ ->
+          defect
+            (Fmt.str "acceptance with %d derivations on the stack"
+               (List.length derivs)))
+      | Parse_table.Error ->
+        Result.Error { position; state; terminal; reason = Unexpected_token }
+    in
+    drive [ Lr0.start_state ] [] input 0
 
 let parse_names table names =
   let g = Parse_table.grammar table in

@@ -25,10 +25,16 @@ type outcome =
   | No_unifying_exists
   | Search_timeout
   | Skipped_search
+  | Search_crashed
 
 type counterexample =
   | Unifying of Product_search.unifying
   | Nonunifying of Nonunifying.t
+
+type validation =
+  | Not_validated
+  | Validated
+  | Validation_failed of string list
 
 type conflict_report = {
   conflict : Conflict.t;
@@ -37,6 +43,8 @@ type conflict_report = {
   outcome : outcome;
   elapsed : float;
   configs_explored : int;
+  failure : string option;
+  validation : validation;
 }
 
 type report = {
@@ -53,7 +61,13 @@ let count outcome r =
 
 let n_unifying = count Found_unifying
 let n_nonunifying = count No_unifying_exists
-let n_timeout r = count Search_timeout r + count Skipped_search r
+
+(* Skipped searches (budget exhausted before the conflict was even
+   attempted) used to be folded into this count, inflating the "timed out"
+   summary; they are now reported separately by {!n_skipped}. *)
+let n_timeout = count Search_timeout
+let n_skipped = count Skipped_search
+let n_crashed = count Search_crashed
 
 (* ------------------------------------------------------------------ *)
 
@@ -88,7 +102,8 @@ let analyze_conflict ?(options = default_options) ?(skip_search = false)
     in
     finish
       { conflict; classification; counterexample; outcome; elapsed = 0.0;
-        configs_explored = configs }
+        configs_explored = configs; failure = None;
+        validation = Not_validated }
   in
   if skip_search || budget_exhausted then fallback Skipped_search 0
   else
@@ -116,11 +131,29 @@ let analyze_conflict ?(options = default_options) ?(skip_search = false)
             counterexample = Some (Unifying u);
             outcome = Found_unifying;
             elapsed = 0.0;
-            configs_explored = stats.Product_search.configs_explored }
+            configs_explored = stats.Product_search.configs_explored;
+            failure = None;
+            validation = Not_validated }
       | Product_search.Timeout stats ->
         fallback Search_timeout stats.Product_search.configs_explored
       | Product_search.Exhausted stats ->
         fallback No_unifying_exists stats.Product_search.configs_explored)
+
+(* A structured stand-in for a conflict whose search crashed: the worker
+   pool converts the exception into this report instead of aborting the
+   whole batch and losing every completed result. *)
+let crashed_conflict_report session conflict exn backtrace =
+  { conflict;
+    classification = Session.classification session conflict;
+    counterexample = None;
+    outcome = Search_crashed;
+    elapsed = 0.0;
+    configs_explored = 0;
+    failure =
+      Some
+        (if backtrace = "" then Printexc.to_string exn
+         else Printexc.to_string exn ^ "\n" ^ backtrace);
+    validation = Not_validated }
 
 let analyze_session ?(options = default_options) session =
   let clock = Session.clock session in

@@ -32,10 +32,22 @@ type outcome =
           counterexample exists (Table 1's "# nonunif" column) *)
   | Search_timeout  (** Table 1's "# time out" column *)
   | Skipped_search  (** cumulative budget exceeded before this conflict *)
+  | Search_crashed
+      (** the search raised; the exception (with backtrace) is in
+          [failure]. Produced only by the batch scheduler's per-conflict
+          crash conversion, never by {!analyze_conflict} itself. *)
 
 type counterexample =
   | Unifying of Product_search.unifying
   | Nonunifying of Nonunifying.t
+
+(** Verdict of the independent counterexample oracle ([lib/validate]); the
+    type lives here so a report can carry its verdicts without the driver
+    depending on the oracle. *)
+type validation =
+  | Not_validated  (** the oracle was not run on this conflict *)
+  | Validated  (** every oracle check passed *)
+  | Validation_failed of string list  (** the named checks failed *)
 
 type conflict_report = {
   conflict : Conflict.t;
@@ -48,6 +60,9 @@ type conflict_report = {
   outcome : outcome;
   elapsed : float;
   configs_explored : int;
+  failure : string option;
+      (** exception and backtrace, for {!Search_crashed} only *)
+  validation : validation;
 }
 
 type report = {
@@ -84,9 +99,21 @@ val analyze_conflict :
     report falls back to a nonunifying counterexample with
     {!Skipped_search}. *)
 
+val crashed_conflict_report :
+  Cex_session.Session.t -> Conflict.t -> exn -> string -> conflict_report
+(** [crashed_conflict_report session conflict exn backtrace]: the
+    {!Search_crashed} report the scheduler substitutes for a conflict whose
+    worker raised, so one poisoned conflict degrades to a per-item error
+    instead of aborting the batch. *)
+
 val grammar : report -> Cfg.Grammar.t
 val n_unifying : report -> int
 val n_nonunifying : report -> int
+
 val n_timeout : report -> int
-(** Timeouts plus skipped searches: conflicts for which a nonunifying
-    counterexample was reported without proof that no unifying one exists. *)
+(** Searches that ran and hit the per-conflict time or configuration
+    budget. Skipped searches (cumulative budget exhausted before the
+    conflict was attempted) are counted by {!n_skipped}, not here. *)
+
+val n_skipped : report -> int
+val n_crashed : report -> int

@@ -51,6 +51,16 @@ let pp_conflict_report g ppf (cr : Driver.conflict_report) =
   | Some c ->
     pp_counterexample g ~label:(other_action_label cr.Driver.conflict) ppf c
   | None -> Fmt.string ppf "No counterexample could be constructed");
+  (match cr.Driver.failure with
+  | Some failure -> Fmt.pf ppf "@,Search crashed: %s" failure
+  | None -> ());
+  (match cr.Driver.validation with
+  | Driver.Not_validated -> ()
+  | Driver.Validated -> Fmt.pf ppf "@,Validation: ok"
+  | Driver.Validation_failed checks ->
+    Fmt.pf ppf "@,Validation: FAILED (%a)"
+      (Fmt.list ~sep:(Fmt.any ", ") Fmt.string)
+      checks);
   Fmt.pf ppf "@]"
 
 let pp_report ppf (r : Driver.report) =
@@ -63,10 +73,26 @@ let pp_report ppf (r : Driver.report) =
       (fun cr -> Fmt.pf ppf "%a@.@." (pp_conflict_report g) cr)
       r.Driver.conflict_reports;
     Fmt.pf ppf
-      "Summary: %d unifying, %d provably-nonunifying, %d timed out; %.3fs \
-       total.@."
+      "Summary: %d unifying, %d provably-nonunifying, %d timed out, %d \
+       skipped%s; %.3fs total.@."
       (Driver.n_unifying r) (Driver.n_nonunifying r) (Driver.n_timeout r)
-      r.Driver.total_elapsed
+      (Driver.n_skipped r)
+      (let crashed = Driver.n_crashed r in
+       if crashed = 0 then "" else Fmt.str ", %d crashed" crashed)
+      r.Driver.total_elapsed;
+    let validated, invalid =
+      List.fold_left
+        (fun (ok, bad) cr ->
+          match cr.Driver.validation with
+          | Driver.Validated -> (ok + 1, bad)
+          | Driver.Validation_failed _ -> (ok, bad + 1)
+          | Driver.Not_validated -> (ok, bad))
+        (0, 0) r.Driver.conflict_reports
+    in
+    if validated + invalid > 0 then
+      Fmt.pf ppf "Validation: %d of %d counterexamples valid%s.@." validated
+        (validated + invalid)
+        (if invalid = 0 then "" else Fmt.str ", %d INVALID" invalid)
   end
 
 let to_string r = Fmt.str "%a" pp_report r

@@ -1,13 +1,23 @@
 open Cfg
 open Automaton
 
-let schema_version = 3
+let schema_version = 4
 
 let outcome_string = function
   | Cex.Driver.Found_unifying -> "found_unifying"
   | Cex.Driver.No_unifying_exists -> "no_unifying_exists"
   | Cex.Driver.Search_timeout -> "search_timeout"
   | Cex.Driver.Skipped_search -> "skipped_search"
+  | Cex.Driver.Search_crashed -> "search_crashed"
+
+let validation_to_json = function
+  | Cex.Driver.Not_validated -> Json.Null
+  | Cex.Driver.Validated ->
+    Json.Obj [ ("status", Json.String "valid") ]
+  | Cex.Driver.Validation_failed checks ->
+    Json.Obj
+      [ ("status", Json.String "invalid");
+        ("failures", Json.List (List.map (fun c -> Json.String c) checks)) ]
 
 let symbols g syms =
   Json.List (List.map (fun s -> Json.String (Grammar.symbol_name g s)) syms)
@@ -102,6 +112,11 @@ let conflict_to_json g (cr : Cex.Driver.conflict_report) =
       ("outcome", Json.String (outcome_string cr.Cex.Driver.outcome));
       ("elapsed", Json.Float cr.Cex.Driver.elapsed);
       ("configs_explored", Json.Int cr.Cex.Driver.configs_explored);
+      ( "failure",
+        match cr.Cex.Driver.failure with
+        | Some f -> Json.String f
+        | None -> Json.Null );
+      ("validation", validation_to_json cr.Cex.Driver.validation);
       ( "counterexample",
         match cr.Cex.Driver.counterexample with
         | Some cex -> counterexample_to_json g cex
@@ -124,6 +139,8 @@ let report_to_json ?name ?digest ?from_cache ?diagnostics
                     ("unifying", Json.Int (Cex.Driver.n_unifying r));
                     ("nonunifying", Json.Int (Cex.Driver.n_nonunifying r));
                     ("timeouts", Json.Int (Cex.Driver.n_timeout r));
+                    ("skipped", Json.Int (Cex.Driver.n_skipped r));
+                    ("crashed", Json.Int (Cex.Driver.n_crashed r));
                     ("total_elapsed", Json.Float r.Cex.Driver.total_elapsed) ]
               )
              :: ("metrics", metrics_to_json r.Cex.Driver.metrics)

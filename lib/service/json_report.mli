@@ -4,7 +4,7 @@
     Schema sketch (stable keys, see the golden tests):
 
     {v
-    { "schema_version": 3,
+    { "schema_version": 4,
       "stats": { "jobs", "grammars", "conflicts", "wall_seconds",
                  "max_queue_depth", "stages": {...},
                  "cache": { "sessions": {"hits","misses","evictions"},
@@ -12,7 +12,7 @@
       "grammars": [
         { "grammar", "digest", "from_cache",
           "summary": { "conflicts", "unifying", "nonunifying", "timeouts",
-                       "total_elapsed" },
+                       "skipped", "crashed", "total_elapsed" },
           "metrics": { "<stage>": { "seconds", "spans",
                                     "counters": { "<name>": n, ... } } },
           "diagnostics": [ ... ],            // only with --lint
@@ -20,6 +20,10 @@
             { "state", "terminal", "kind", "classification",
               "reduce_item", "other_item",
               "outcome", "elapsed", "configs_explored",
+              "failure": null | "<exception and backtrace>",
+              "validation": null              // oracle not run
+                | { "status": "valid" }
+                | { "status": "invalid", "failures": [ "<check>", ... ] },
               "counterexample": null
                 | { "type": "unifying", "nonterminal", "form",
                     "derivation_reduce", "derivation_other" }
@@ -31,7 +35,7 @@
     diagnostic object shape:
 
     {v
-    { "schema_version": 3,
+    { "schema_version": 4,
       "summary": { "grammars", "diagnostics", "errors", "warnings", "infos",
                    "conflicts", "unclassified_conflicts",
                    "codes": { "<rule-code>": count, ... } },
@@ -45,14 +49,20 @@
     v} *)
 
 val schema_version : int
-(** Version 3: grammar report objects carry a per-stage ["metrics"] object
-    (trace spans and counters) and the stats cache object keys sessions,
-    not tables. Version 2 added conflict ["classification"], optional
-    ["diagnostics"] arrays and the lint document. *)
+(** Version 4: conflict objects carry ["failure"] and ["validation"] (the
+    counterexample oracle's verdict), summaries split ["skipped"] and
+    ["crashed"] out of ["timeouts"], and ["search_crashed"] joins the
+    outcome strings. Version 3 added per-stage ["metrics"]; version 2 added
+    conflict ["classification"], optional ["diagnostics"] arrays and the
+    lint document. *)
 
 val outcome_string : Cex.Driver.outcome -> string
 (** ["found_unifying"], ["no_unifying_exists"], ["search_timeout"],
-    ["skipped_search"]. *)
+    ["skipped_search"], ["search_crashed"]. *)
+
+val validation_to_json : Cex.Driver.validation -> Json.t
+(** [null] when not validated, else
+    [{ "status": "valid" | "invalid", "failures": [...] }]. *)
 
 val diagnostic_to_json : Cfg.Grammar.t -> Cex_lint.Diagnostic.t -> Json.t
 val diagnostics_to_json : Cfg.Grammar.t -> Cex_lint.Diagnostic.t list -> Json.t

@@ -51,6 +51,17 @@ let map ?(jobs = default_jobs ()) f xs =
 let search_seconds crs =
   Array.fold_left (fun t cr -> t +. cr.Cex.Driver.elapsed) 0.0 crs
 
+(* A crash while searching one conflict must not abort the pool (which
+   would lose every completed result of the batch): convert it into a
+   structured per-conflict error report. The exception text and backtrace
+   travel in the report's [failure] field, so they surface in the JSON
+   document instead of killing the process. *)
+let protected_conflict ~options ~deadline session conflict =
+  try Cex.Driver.analyze_conflict ~options ~deadline session conflict
+  with e ->
+    let backtrace = Printexc.get_backtrace () in
+    Cex.Driver.crashed_conflict_report session conflict e backtrace
+
 let analyze_session ?(options = Cex.Driver.default_options)
     ?(jobs = default_jobs ()) ?stats session =
   let clock = Session.clock session in
@@ -64,7 +75,7 @@ let analyze_session ?(options = Cex.Driver.default_options)
   in
   let crs =
     run_pool ?stats ~jobs (Array.length conflicts) (fun i ->
-        Cex.Driver.analyze_conflict ~options ~deadline session conflicts.(i))
+        protected_conflict ~options ~deadline session conflicts.(i))
   in
   (match stats with
   | Some st ->
@@ -181,8 +192,8 @@ let analyze_batch t entries =
   let crs =
     run_pool ~stats ~jobs:t.jobs (Array.length job_table) (fun i ->
         let f, conflict = Option.get job_table.(i) in
-        Cex.Driver.analyze_conflict ~options:t.options ~deadline:f.deadline
-          f.session conflict)
+        protected_conflict ~options:t.options ~deadline:f.deadline f.session
+          conflict)
   in
   Stats.add_stage stats "conflict_search" (search_seconds crs);
   (* Phase 3 (sequential): reassemble reports in input order and fill the

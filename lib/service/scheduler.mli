@@ -37,7 +37,10 @@ val analyze_session :
   Cex.Driver.report
 (** Drop-in parallel replacement for {!Cex.Driver.analyze_session}:
     conflict reports come back in the session's conflict order regardless
-    of worker interleaving. *)
+    of worker interleaving. A conflict whose search raises is converted
+    into a {!Cex.Driver.Search_crashed} report (exception and backtrace in
+    its [failure] field) rather than aborting the pool, so every other
+    conflict's result survives. *)
 
 (** {1 The batch service} *)
 
@@ -76,6 +79,9 @@ val analyze_batch :
 (** Analyze many grammars in one run: sequential digest / cache-lookup /
     session-build phase, then one global conflict-level fan-out across all
     uncached grammars, each grammar metering its own cumulative budget.
+    A worker exception while searching one conflict degrades to a
+    {!Cex.Driver.Search_crashed} report for that conflict alone — the rest
+    of the batch completes and keeps its results.
     Results are in input order; each fresh report carries its session's
     per-stage trace {!Cex.Driver.report.metrics} (cumulative for sessions
     reused from the cache, which also count a ["session"] [cache_hits]

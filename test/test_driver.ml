@@ -60,7 +60,8 @@ let test_skipped_search () =
     "all skipped"
     [ true; true; true ]
     (List.map (fun o -> o = Cex.Driver.Skipped_search) (outcomes r));
-  Alcotest.(check int) "counted as timeouts" 3 (Cex.Driver.n_timeout r);
+  Alcotest.(check int) "counted as skipped" 3 (Cex.Driver.n_skipped r);
+  Alcotest.(check int) "not counted as timeouts" 0 (Cex.Driver.n_timeout r);
   Alcotest.(check bool) "nonunifying fallback attached" true
     (has_counterexamples r)
 

@@ -91,7 +91,29 @@ let test_error_reporting () =
   | Error e -> Alcotest.(check int) "eof error terminal" 0 e.Runner.terminal);
   match Runner.parse_names t [ "A"; "B" ] with
   | Ok _ -> Alcotest.fail "should fail at the second token"
-  | Error e -> Alcotest.(check int) "error position (0-based)" 1 e.Runner.position
+  | Error e ->
+    Alcotest.(check int) "error position (0-based)" 1 e.Runner.position;
+    Alcotest.(check bool) "syntax errors are Unexpected_token" true
+      (e.Runner.reason = Runner.Unexpected_token)
+
+(* Degenerate inputs must come back as errors, never assertions: the oracle
+   and the fuzzer replay automata on arbitrary generated token strings. *)
+let test_invalid_tokens_rejected () =
+  let t = table "s : A s B | C ;" in
+  let n_terminals = Grammar.n_terminals (Parse_table.grammar t) in
+  List.iter
+    (fun (label, input) ->
+      match Runner.parse t input with
+      | Ok _ -> Alcotest.failf "%s should be rejected" label
+      | Error e ->
+        Alcotest.(check bool)
+          (label ^ " rejected as Invalid_token")
+          true
+          (e.Runner.reason = Runner.Invalid_token))
+    [ ("explicit EOF marker inside the input", [ 0 ]);
+      ("EOF marker mid-input", [ 1; 0; 2 ]);
+      ("out-of-range terminal", [ n_terminals ]);
+      ("negative terminal", [ -1 ]) ]
 
 let prop_accepts_min_sentences =
   QCheck.Test.make ~name:"runner accepts minimal sentences (conflict-free)"
@@ -118,4 +140,6 @@ let suite =
       Alcotest.test_case "dangling else default shift" `Quick
         test_dangling_else_default_shift;
       Alcotest.test_case "error reporting" `Quick test_error_reporting;
+      Alcotest.test_case "invalid tokens rejected" `Quick
+        test_invalid_tokens_rejected;
       QCheck_alcotest.to_alcotest prop_accepts_min_sentences ] )

@@ -127,6 +127,39 @@ let test_scheduler_matches_driver () =
        (Cex_service.Scheduler.analyze_session ~jobs:4
           (Cex_session.Session.create g)))
 
+(* A worker crash mid-search becomes a structured Search_crashed report for
+   that conflict instead of killing the whole batch; the injected trace sink
+   raises from inside the product search, where only a conflict analysis
+   (never session construction) can trigger it. *)
+let test_crash_becomes_outcome () =
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  let g = Spec_parser.grammar_of_string_exn Corpus.Paper_grammars.figure1 in
+  let bomb =
+    Cex_session.Trace.make
+      ~on_span:(fun _ _ -> ())
+      ~on_count:(fun stage _ _ ->
+        if stage = "product_search" then failwith "injected crash")
+  in
+  let session = Cex_session.Session.create ~trace:bomb g in
+  let report = Cex_service.Scheduler.analyze_session ~jobs:2 session in
+  let n = List.length report.Cex.Driver.conflict_reports in
+  Alcotest.(check bool) "figure1 has conflicts" true (n > 0);
+  Alcotest.(check int) "every conflict crashed" n (Cex.Driver.n_crashed report);
+  List.iter
+    (fun (cr : Cex.Driver.conflict_report) ->
+      Alcotest.(check bool) "outcome is Search_crashed" true
+        (cr.Cex.Driver.outcome = Cex.Driver.Search_crashed);
+      match cr.Cex.Driver.failure with
+      | Some msg ->
+        Alcotest.(check bool) "failure names the exception" true
+          (contains ~sub:"injected crash" msg)
+      | None -> Alcotest.fail "crashed report carries no failure")
+    report.Cex.Driver.conflict_reports
+
 let test_map_order_and_errors () =
   let doubled = Cex_service.Scheduler.map ~jobs:3 (fun x -> 2 * x)
       [ 5; 1; 4; 1; 3 ] in
@@ -194,7 +227,7 @@ let test_json_parser () =
 
 let golden =
   {|{
-  "schema_version": 3,
+  "schema_version": 4,
   "stats": {
     "jobs": 1,
     "grammars": 1,
@@ -228,6 +261,8 @@ let golden =
         "unifying": 1,
         "nonunifying": 0,
         "timeouts": 0,
+        "skipped": 0,
+        "crashed": 0,
         "total_elapsed": 0.0
       },
       "metrics": {
@@ -272,6 +307,8 @@ let golden =
           "outcome": "found_unifying",
           "elapsed": 0.0,
           "configs_explored": 135,
+          "failure": null,
+          "validation": null,
           "counterexample": {
             "type": "unifying",
             "nonterminal": "stmt",
@@ -321,6 +358,8 @@ let suite =
       Alcotest.test_case "determinism-jobs-1-vs-4" `Slow test_determinism;
       Alcotest.test_case "scheduler-matches-driver" `Quick
         test_scheduler_matches_driver;
+      Alcotest.test_case "crash-becomes-outcome" `Quick
+        test_crash_becomes_outcome;
       Alcotest.test_case "map-order-and-errors" `Quick
         test_map_order_and_errors;
       Alcotest.test_case "json-emitter" `Quick test_json_emitter;
