@@ -304,6 +304,147 @@ let median samples =
     let n = Array.length a in
     if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
 
+(* ------------------------------------------------------------------ *)
+(* The serve path: request latency for the three ways `lrcex serve` can
+   satisfy an analyze request — cold (nothing cached), warm (exact-digest
+   report-cache hit) and incremental (a one-production edit to a cached
+   corpus grammar, served through the delta path). *)
+
+(* stackovf10 with one production added to [atom] (empty parens): the
+   symbol table is unchanged and every one of the 20 pre-existing conflicts
+   keeps its item pair, so the delta path reuses all 20 unifying
+   counterexamples after oracle re-validation instead of re-running the
+   product searches (~20k configurations cold). The grammar is fully
+   cyclic — e -> pre -> atom -> e — so no nonterminal's fixpoints survive
+   the edit; the scenario measures pure conflict-level reuse. *)
+let stackovf10_edited =
+  {|
+%start e
+e : e + e
+  | e - e
+  | e * e
+  | e / e
+  | - e
+  | pre
+  ;
+pre : atom
+    | pre ^ atom
+    ;
+atom : ID
+     | NUM
+     | ( e )
+     | ( )
+     ;
+|}
+
+type serve_point = {
+  serve_cold_ms : float;
+  serve_warm_ms : float;
+  serve_incremental_ms : float;
+  serve_reuse : Cex_serve.Incremental.reuse option;
+}
+
+let serve_point () =
+  let base = Corpus.grammar (Corpus.find "stackovf10") in
+  let edited = Spec_parser.grammar_of_string_exn stackovf10_edited in
+  let reps = if quick then 3 else 9 in
+  let time_ms f =
+    let t0 = Cex_session.Clock.now Cex_session.Clock.system in
+    let r = f () in
+    (r, (Cex_session.Clock.now Cex_session.Clock.system -. t0) *. 1000.0)
+  in
+  let fresh () =
+    Cex_serve.Incremental.create (Cex_service.Scheduler.create ~jobs:1 ())
+  in
+  let sample f = List.init reps (fun _ -> f ()) in
+  let cold =
+    sample (fun () ->
+        let t = fresh () in
+        let (_, _, served), ms =
+          time_ms (fun () -> Cex_serve.Incremental.analyze t edited)
+        in
+        assert (served = Cex_serve.Incremental.Cold);
+        ms)
+  in
+  let warm_state = fresh () in
+  ignore (Cex_serve.Incremental.analyze warm_state base);
+  let warm =
+    sample (fun () ->
+        let (_, _, served), ms =
+          time_ms (fun () -> Cex_serve.Incremental.analyze warm_state base)
+        in
+        assert (served = Cex_serve.Incremental.Report_cache);
+        ms)
+  in
+  let last_reuse = ref None in
+  let incremental =
+    sample (fun () ->
+        let t = fresh () in
+        ignore (Cex_serve.Incremental.analyze t base);
+        let (_, _, served), ms =
+          time_ms (fun () -> Cex_serve.Incremental.analyze t edited)
+        in
+        (match served with
+        | Cex_serve.Incremental.Delta r -> last_reuse := Some r
+        | _ -> ());
+        ms)
+  in
+  { serve_cold_ms = median cold;
+    serve_warm_ms = median warm;
+    serve_incremental_ms = median incremental;
+    serve_reuse = !last_reuse }
+
+let pp_serve_point ppf p =
+  Fmt.pf ppf "  cold (no caches):        %10.3f ms/request@." p.serve_cold_ms;
+  Fmt.pf ppf "  warm (report cache):     %10.3f ms/request@." p.serve_warm_ms;
+  Fmt.pf ppf "  incremental (delta):     %10.3f ms/request   speedup %.2fx@."
+    p.serve_incremental_ms
+    (if p.serve_incremental_ms > 0.0 then
+       p.serve_cold_ms /. p.serve_incremental_ms
+     else 0.0);
+  match p.serve_reuse with
+  | None -> Fmt.pf ppf "  (delta path not taken!)@."
+  | Some r ->
+    Fmt.pf ppf
+      "  reuse: %d/%d nonterminal fixpoints seeded, %d conflicts reused, %d \
+       searched (similarity %.2f to %s)@."
+      r.Cex_serve.Incremental.seeded_nonterminals r.total_nonterminals
+      r.reused_conflicts r.searched_conflicts r.similarity
+      (String.sub r.base_digest 0 12)
+
+let serve_bench () =
+  Fmt.pr
+    "=== Serve: request latency, cold vs warm vs incremental (stackovf10 + \
+     one-production edit) ===@.";
+  pp_serve_point Fmt.stdout (serve_point ());
+  Fmt.pr "@."
+
+let serve_json p =
+  let reuse =
+    match p.serve_reuse with
+    | None -> []
+    | Some r ->
+      [ ( "reuse",
+          Cex_service.Json.Obj
+            [ ("similarity", Cex_service.Json.Float r.Cex_serve.Incremental.similarity);
+              ("seeded_nonterminals", Cex_service.Json.Int r.seeded_nonterminals);
+              ("total_nonterminals", Cex_service.Json.Int r.total_nonterminals);
+              ("reused_conflicts", Cex_service.Json.Int r.reused_conflicts);
+              ("searched_conflicts", Cex_service.Json.Int r.searched_conflicts) ] ) ]
+  in
+  Cex_service.Json.Obj
+    ([ ("grammar", Cex_service.Json.String "stackovf10");
+       ("edit", Cex_service.Json.String "one production added to atom");
+       ("cold_ms", Cex_service.Json.Float p.serve_cold_ms);
+       ("warm_ms", Cex_service.Json.Float p.serve_warm_ms);
+       ("incremental_ms", Cex_service.Json.Float p.serve_incremental_ms);
+       ( "speedup_vs_cold",
+         Cex_service.Json.Float
+           (if p.serve_incremental_ms > 0.0 then
+              p.serve_cold_ms /. p.serve_incremental_ms
+            else 0.0) ) ]
+    @ reuse)
+
 let stage_json samples =
   let total = List.fold_left ( +. ) 0.0 samples in
   Cex_service.Json.Obj
@@ -321,7 +462,7 @@ let stage_median doc stage =
 
 let stage_names = [ "table_build"; "path_search"; "product_search" ]
 
-(* Compare against a committed baseline (BENCH_2.json). Returns false iff
+(* Compare against a committed baseline (BENCH_3.json). Returns false iff
    some stage's median regressed by more than [threshold]x. *)
 let compare_baseline ~threshold current file =
   match
@@ -390,9 +531,10 @@ let json_bench ~out ~baseline =
     Hashtbl.fold (fun stage _ acc -> stage :: acc) samples []
     |> List.sort String.compare
   in
+  let serve = serve_point () in
   let doc =
     Cex_service.Json.Obj
-      [ ("schema", Cex_service.Json.Int 1);
+      [ ("schema", Cex_service.Json.Int 2);
         ( "workload",
           Cex_service.Json.Obj
             [ ("corpus", Cex_service.Json.String "all");
@@ -401,7 +543,8 @@ let json_bench ~out ~baseline =
           Cex_service.Json.Obj
             (List.map
                (fun stage -> (stage, stage_json (stage_samples stage)))
-               recorded) ) ]
+               recorded) );
+        ("serve", serve_json serve) ]
   in
   Out_channel.with_open_text out (fun oc ->
       output_string oc (Cex_service.Json.to_string doc);
@@ -411,6 +554,8 @@ let json_bench ~out ~baseline =
     (median (stage_samples "table_build"))
     (median (stage_samples "path_search"))
     (median (stage_samples "product_search"));
+  Fmt.pr "serve latency (ms): cold %.3f, warm %.3f, incremental %.3f@."
+    serve.serve_cold_ms serve.serve_warm_ms serve.serve_incremental_ms;
   Fmt.pr "wrote %s@." out;
   match baseline with
   | None -> true
@@ -434,6 +579,7 @@ let () =
   Fmt.pr "lrcex benchmark harness%s@.@." (if quick then " (quick mode)" else "");
   microbenchmarks ();
   scheduler_bench ();
+  serve_bench ();
   let rows = table1 () in
   Evaluation.pp_effectiveness Fmt.stdout (Evaluation.effectiveness rows);
   Evaluation.pp_efficiency Fmt.stdout (Evaluation.efficiency rows);

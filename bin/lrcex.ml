@@ -417,6 +417,124 @@ let run_lint paths use_corpus json enable disable show_rules =
         else 0)
 
 (* ------------------------------------------------------------------ *)
+(* The serve command: a persistent analysis daemon speaking NDJSON over a
+   Unix or TCP socket, with delta-aware incremental re-analysis (see
+   lib/serve). And the client command: a scripting/CI helper that replays
+   request lines one at a time and prints one response line each. *)
+
+let parse_endpoint socket tcp =
+  match socket, tcp with
+  | Some path, None -> Ok (`Unix path)
+  | None, Some hostport -> (
+    match String.rindex_opt hostport ':' with
+    | None -> Error "expected HOST:PORT for --tcp"
+    | Some i -> (
+      let host = String.sub hostport 0 i in
+      let port = String.sub hostport (i + 1) (String.length hostport - i - 1) in
+      match int_of_string_opt port with
+      | None -> Error (Fmt.str "invalid port %S" port)
+      | Some port -> Ok (`Tcp ((if host = "" then "127.0.0.1" else host), port))))
+  | Some _, Some _ -> Error "--socket and --tcp are mutually exclusive"
+  | None, None -> Error "one of --socket PATH or --tcp HOST:PORT is required"
+
+let run_serve socket tcp timeout cumulative extended jobs cache_size
+    cache_shards queue_limit =
+  match parse_endpoint socket tcp with
+  | Error msg ->
+    Fmt.epr "error: %s@." msg;
+    1
+  | Ok endpoint -> (
+    let options = make_options timeout cumulative extended in
+    let server =
+      Cex_serve.Server.create ~options ~jobs ~cache_capacity:cache_size
+        ~cache_shards ~queue_limit ()
+    in
+    (match endpoint with
+    | `Unix path -> Fmt.epr "lrcex serve: listening on %s@." path
+    | `Tcp (host, port) ->
+      Fmt.epr "lrcex serve: listening on %s:%d@." host port);
+    match Cex_serve.Server.run server endpoint with
+    | () ->
+      Fmt.epr "lrcex serve: drained, exiting@.";
+      0
+    | exception Unix.Unix_error (e, fn, arg) ->
+      Fmt.epr "error: %s(%s): %s@." fn arg (Unix.error_message e);
+      1)
+
+let connect_endpoint = function
+  | `Unix path ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    fd
+  | `Tcp (host, port) ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    let addr =
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> Unix.inet_addr_of_string host
+    in
+    Unix.connect fd (Unix.ADDR_INET (addr, port));
+    fd
+
+let write_line fd line =
+  let b = Bytes.of_string (line ^ "\n") in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then go (off + Unix.write fd b off (n - off))
+  in
+  go 0
+
+(* Strip volatile timings so scripted replays diff cleanly against a
+   committed golden: zero every float and the cumulative counters of the
+   stats operation. *)
+let normalize_response ~zero_floats line =
+  if not zero_floats then line
+  else
+    match Cex_service.Json.of_string line with
+    | json ->
+      Cex_service.Json.to_string ~minify:true
+        (Cex_service.Json.map_floats (fun _ -> 0.0) json)
+    | exception Cex_service.Json.Parse_error _ -> line
+
+let run_client socket tcp script zero_floats =
+  match parse_endpoint socket tcp with
+  | Error msg ->
+    Fmt.epr "error: %s@." msg;
+    1
+  | Ok endpoint -> (
+    let requests =
+      (match script with
+      | None -> In_channel.input_all stdin
+      | Some path -> In_channel.with_open_text path In_channel.input_all)
+      |> String.split_on_char '\n'
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    match connect_endpoint endpoint with
+    | exception Unix.Unix_error (e, fn, arg) ->
+      Fmt.epr "error: %s(%s): %s@." fn arg (Unix.error_message e);
+      1
+    | fd ->
+      let ic = Unix.in_channel_of_descr fd in
+      let rec go = function
+        | [] -> 0
+        | line :: rest -> (
+          write_line fd line;
+          match In_channel.input_line ic with
+          | None ->
+            Fmt.epr "error: server closed the connection@.";
+            1
+          | Some response ->
+            print_endline (normalize_response ~zero_floats response);
+            go rest)
+      in
+      let code = try go requests with
+        | Unix.Unix_error (e, fn, arg) ->
+          Fmt.epr "error: %s(%s): %s@." fn arg (Unix.error_message e);
+          1
+      in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      code)
+
+(* ------------------------------------------------------------------ *)
 
 open Cmdliner
 
@@ -626,6 +744,78 @@ let lint_cmd =
       const run_lint $ paths_arg $ corpus_arg $ json_arg $ enable_arg
       $ disable_arg $ rules_arg)
 
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path to listen on / connect to.")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:"TCP endpoint to listen on / connect to.")
+
+let serve_cmd =
+  let shards_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "cache-shards" ] ~docv:"N"
+          ~doc:"Number of independently locked session-cache shards.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:"Pending-request bound; beyond it requests are answered \
+                with an $(b,overloaded) error immediately.")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "cache-size" ] ~docv:"N"
+          ~doc:"Total capacity (entries) of the session and report caches.")
+  in
+  let doc =
+    "run a persistent analysis server speaking newline-delimited JSON over \
+     a Unix or TCP socket, with session caching and delta-aware \
+     incremental re-analysis; exits 0 after a $(b,shutdown) request drains \
+     the queue"
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const run_serve $ socket_arg $ tcp_arg $ timeout_arg $ cumulative_arg
+      $ extended_arg $ jobs_arg $ cache_arg $ shards_arg $ queue_arg)
+
+let client_cmd =
+  let script_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "script" ] ~docv:"FILE"
+          ~doc:"NDJSON request script to replay, one request per line \
+                (default: stdin).")
+  in
+  let zero_floats_arg =
+    Arg.(
+      value & flag
+      & info [ "zero-floats" ]
+          ~doc:"Zero every float in the responses (volatile timings), for \
+                diffing against a committed golden.")
+  in
+  let doc =
+    "replay NDJSON requests against a running server, one at a time, \
+     printing one response line each; exits 0 when the transport held \
+     (error responses are data, not failures), 1 on connection errors"
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc)
+    Term.(
+      const run_client $ socket_arg $ tcp_arg $ script_arg $ zero_floats_arg)
+
 let cmd =
   let doc =
     "find counterexamples for LALR parsing conflicts (Isradisaikul & Myers, \
@@ -634,7 +824,7 @@ let cmd =
   Cmd.group
     (Cmd.info "lrcex" ~version:"1.1.0" ~doc)
     ~default:analyze_term
-    [ analyze_cmd; batch_cmd; validate_cmd; lint_cmd ]
+    [ analyze_cmd; batch_cmd; validate_cmd; lint_cmd; serve_cmd; client_cmd ]
 
 (* Backward compatibility: `lrcex my.y` (no subcommand) still analyzes the
    file, as the original single-command CLI did. cmdliner groups would
@@ -646,7 +836,7 @@ let () =
       Array.length argv > 1
       && (argv.(1) = "-" || String.length argv.(1) = 0 || argv.(1).[0] <> '-')
       && argv.(1) <> "analyze" && argv.(1) <> "batch" && argv.(1) <> "lint"
-      && argv.(1) <> "validate"
+      && argv.(1) <> "validate" && argv.(1) <> "serve" && argv.(1) <> "client"
     then
       Array.concat
         [ [| argv.(0); "analyze" |]; Array.sub argv 1 (Array.length argv - 1) ]

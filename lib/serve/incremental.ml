@@ -1,0 +1,281 @@
+open Automaton
+module Scheduler = Cex_service.Scheduler
+module Cache = Cex_service.Cache
+module Session = Cex_session.Session
+module Delta = Cex_session.Delta
+module Clock = Cex_session.Clock
+module Deadline = Cex_session.Deadline
+module Trace = Cex_session.Trace
+module Oracle = Cex_validate.Oracle
+
+type t = {
+  scheduler : Scheduler.t;
+  lock : Mutex.t;
+  fingerprints : (string, Delta.fingerprint) Hashtbl.t;  (* by digest *)
+}
+
+let create scheduler =
+  { scheduler; lock = Mutex.create (); fingerprints = Hashtbl.create 64 }
+
+let scheduler t = t.scheduler
+
+type reuse = {
+  base_digest : string;
+  similarity : float;
+  seeded_nonterminals : int;
+  total_nonterminals : int;
+  reused_conflicts : int;
+  searched_conflicts : int;
+}
+
+type served =
+  | Report_cache
+  | Session_cache
+  | Delta of reuse
+  | Cold
+
+let served_string = function
+  | Report_cache -> "report_cache"
+  | Session_cache -> "session_cache"
+  | Delta _ -> "delta"
+  | Cold -> "cold"
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let fingerprint_of t digest g =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.fingerprints digest with
+      | Some fp -> fp
+      | None ->
+        (* The memo only ever holds fingerprints of cached sessions plus the
+           request in flight; reset if a long-lived server outgrows that. *)
+        if Hashtbl.length t.fingerprints > 1024 then
+          Hashtbl.reset t.fingerprints;
+        let fp = Delta.fingerprint g in
+        Hashtbl.add t.fingerprints digest fp;
+        fp)
+
+(* ------------------------------------------------------------------ *)
+(* Conflict signatures: identify a conflict across automaton rebuilds by
+   what it means (kind, lookahead terminal, the two items' text), never by
+   state number. *)
+
+let conflict_signature g (c : Conflict.t) =
+  let item i = Fmt.str "%a" (Item.pp g) i in
+  Fmt.str "%s|%s|%s|%s"
+    (if Conflict.is_shift_reduce c then "sr" else "rr")
+    (Cfg.Grammar.terminal_name g c.Conflict.terminal)
+    (item (Conflict.reduce_item c))
+    (item (Conflict.other_item c))
+
+exception Unmappable
+
+let remap_derivation g remap deriv =
+  let remap_prod p =
+    match remap p with Some q -> q | None -> raise Unmappable
+  in
+  let rec go = function
+    | Cfg.Derivation.Leaf s -> Cfg.Derivation.leaf s
+    | Cfg.Derivation.Node { prod; children; dot; _ } ->
+      Cfg.Derivation.node ?dot g (remap_prod prod) (List.map go children)
+  in
+  go deriv
+
+(* Try to carry a base conflict's unifying counterexample over to the new
+   session: remap its derivations to the new production numbering and accept
+   only if the independent oracle validates it against the new grammar. *)
+let reuse_counterexample ~oracle ~remap session (new_conflict : Conflict.t)
+    (base_cr : Cex.Driver.conflict_report) =
+  match base_cr.Cex.Driver.outcome, base_cr.Cex.Driver.counterexample with
+  | Cex.Driver.Found_unifying, Some (Cex.Driver.Unifying u) -> (
+    let g = Session.grammar session in
+    match
+      let deriv1 = remap_derivation g remap u.Cex.Product_search.deriv1 in
+      let deriv2 = remap_derivation g remap u.Cex.Product_search.deriv2 in
+      { u with Cex.Product_search.deriv1; deriv2 }
+    with
+    | exception _ -> None
+    | u' -> (
+      match Oracle.check_unifying (Lazy.force oracle) u' with
+      | [] ->
+        Some
+          { Cex.Driver.conflict = new_conflict;
+            classification = Session.classification session new_conflict;
+            counterexample = Some (Cex.Driver.Unifying u');
+            outcome = Cex.Driver.Found_unifying;
+            elapsed = 0.0;
+            configs_explored = 0;
+            failure = None;
+            validation = Cex.Driver.Validated }
+      | _failures -> None))
+  | _ -> None
+
+(* Mirror of the scheduler's per-conflict crash isolation. *)
+let protected_conflict ~options ~deadline session conflict =
+  try Cex.Driver.analyze_conflict ~options ~deadline session conflict
+  with e ->
+    let backtrace = Printexc.get_backtrace () in
+    Cex.Driver.crashed_conflict_report session conflict e backtrace
+
+(* ------------------------------------------------------------------ *)
+
+let analyze_hot ~options ~jobs t session digest served =
+  let report = Scheduler.analyze_session ~options ~jobs session in
+  Scheduler.store_report t.scheduler digest report;
+  (report, digest, served)
+
+(* Pick the most production-similar cached session as a reuse base.
+   Candidates below half similarity are not worth diffing: the warm start
+   would reseed almost nothing. *)
+let best_base t next_fp =
+  Scheduler.fold_sessions
+    (fun digest session best ->
+      let fp = fingerprint_of t digest (Session.grammar session) in
+      let s = Delta.similarity fp next_fp in
+      match best with
+      | Some (_, _, _, s') when s' >= s -> best
+      | _ when s >= 0.5 -> Some (digest, session, fp, s)
+      | _ -> best)
+    t.scheduler None
+
+let analyze_delta ~options ~jobs t g digest ~base_digest ~base_session
+    ~similarity ~diff ~warm =
+  let clock = Scheduler.clock t.scheduler in
+  let t0 = Clock.now clock in
+  (* The warm start is an optimization on top of the delta path, not a
+     precondition: on a fully cyclic grammar an edit invalidates every
+     nonterminal's fixpoints, yet the (much more expensive) conflict
+     searches below can still be skipped for unchanged item pairs. *)
+  let session, seeded_nonterminals =
+    match warm with
+    | Some (analysis, (wstats : Cfg.Analysis.warm_stats)) ->
+      ( Session.create ~clock ~analysis g,
+        wstats.Cfg.Analysis.seeded_nonterminals )
+    | None -> (Session.create ~clock g, 0)
+  in
+  let total_nonterminals = diff.Delta.total_nonterminals in
+  let trace = Session.trace session in
+  Trace.span trace "delta" (Clock.now clock -. t0);
+  Trace.count trace "delta" "seeded_nonterminals" seeded_nonterminals;
+  Trace.count trace "delta" "total_nonterminals" total_nonterminals;
+  (* Index the base report's conflicts by signature; first match wins and is
+     consumed, so duplicated signatures cannot fan one counterexample out to
+     several conflicts. *)
+  let base_index = Hashtbl.create 16 in
+  (match Scheduler.find_report t.scheduler base_digest with
+  | Some base_report ->
+    let base_g = Session.grammar base_session in
+    List.iter
+      (fun (cr : Cex.Driver.conflict_report) ->
+        let s = conflict_signature base_g cr.Cex.Driver.conflict in
+        if not (Hashtbl.mem base_index s) then Hashtbl.add base_index s cr)
+      base_report.Cex.Driver.conflict_reports
+  | None -> ());
+  let oracle = lazy (Oracle.of_session session) in
+  let remap = diff.Delta.remap_production in
+  let conflicts = Array.of_list (Session.conflicts session) in
+  let reused =
+    Array.map
+      (fun conflict ->
+        let s = conflict_signature g conflict in
+        match Hashtbl.find_opt base_index s with
+        | Some base_cr -> (
+          match
+            reuse_counterexample ~oracle ~remap session conflict base_cr
+          with
+          | Some cr ->
+            Hashtbl.remove base_index s;
+            Some cr
+          | None -> None)
+        | None -> None)
+      conflicts
+  in
+  let deadline =
+    Deadline.budget clock options.Cex.Driver.cumulative_timeout
+  in
+  let fresh_jobs =
+    Array.to_list
+      (Array.mapi
+         (fun i conflict ->
+           match reused.(i) with Some _ -> None | None -> Some (i, conflict))
+         conflicts)
+    |> List.filter_map Fun.id
+  in
+  let fresh_crs =
+    Scheduler.map ~jobs
+      (fun (i, conflict) ->
+        (i, protected_conflict ~options ~deadline session conflict))
+      fresh_jobs
+  in
+  let crs =
+    Array.mapi
+      (fun i reused_cr ->
+        match reused_cr with
+        | Some cr -> cr
+        | None -> List.assoc i fresh_crs)
+      reused
+  in
+  let n_reused =
+    Array.fold_left
+      (fun n r -> if Option.is_some r then n + 1 else n)
+      0 reused
+  in
+  Trace.count trace "delta" "reused_conflicts" n_reused;
+  Trace.count trace "delta" "searched_conflicts" (List.length fresh_jobs);
+  let report =
+    { Cex.Driver.table = Session.table session;
+      conflict_reports = Array.to_list crs;
+      total_elapsed = Clock.now clock -. t0;
+      metrics = Session.metrics session }
+  in
+  Scheduler.store_session t.scheduler digest session;
+  Scheduler.store_report t.scheduler digest report;
+  ( report,
+    digest,
+    Delta
+      { base_digest;
+        similarity;
+        seeded_nonterminals;
+        total_nonterminals;
+        reused_conflicts = n_reused;
+        searched_conflicts = List.length fresh_jobs } )
+
+let analyze_cold ~options ~jobs t g digest =
+  let clock = Scheduler.clock t.scheduler in
+  let session = Session.create ~clock g in
+  Scheduler.store_session t.scheduler digest session;
+  analyze_hot ~options ~jobs t session digest Cold
+
+let analyze t ?options ?jobs ?(incremental = true) g =
+  let options =
+    Option.value ~default:(Scheduler.options t.scheduler) options
+  in
+  let jobs = Option.value ~default:(Scheduler.jobs t.scheduler) jobs in
+  let digest = Cache.digest g in
+  match Scheduler.find_report t.scheduler digest with
+  | Some report -> (report, digest, Report_cache)
+  | None -> (
+    match Scheduler.find_session t.scheduler digest with
+    | Some session ->
+      Trace.count (Session.trace session) "session" "cache_hits" 1;
+      analyze_hot ~options ~jobs t session digest Session_cache
+    | None ->
+      if not incremental then analyze_cold ~options ~jobs t g digest
+      else begin
+        let next_fp = fingerprint_of t digest g in
+        match best_base t next_fp with
+        | None -> analyze_cold ~options ~jobs t g digest
+        | Some (base_digest, base_session, base_fp, similarity) ->
+          let diff = Delta.diff ~base:base_fp ~next:next_fp in
+          if not diff.Delta.compatible then
+            analyze_cold ~options ~jobs t g digest
+          else
+            let warm =
+              Delta.warm_analysis ~base:(Session.analysis base_session) ~diff
+                g
+            in
+            analyze_delta ~options ~jobs t g digest ~base_digest ~base_session
+              ~similarity ~diff ~warm
+      end)

@@ -44,4 +44,35 @@ val counters : 'a t -> counters
 val clear : 'a t -> unit
 (** Drop all entries; counters are preserved. *)
 
+val fold : (string -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+(** Fold over the live entries (unspecified order) without refreshing
+    recency or touching the counters. The whole fold runs under the cache
+    lock — do not call back into the same cache from [f]. *)
+
 val pp_counters : Format.formatter -> counters -> unit
+
+val zero_counters : counters
+val sum_counters : counters list -> counters
+
+(** A fixed array of independent caches addressed by key hash, so domains
+    racing on different grammars contend on different locks and eviction
+    pressure is localized. [capacity] is the total across shards (split
+    evenly, each shard at least 1). *)
+module Sharded : sig
+  type 'a t
+
+  val create : ?shards:int -> ?capacity:int -> unit -> 'a t
+  (** Defaults: 1 shard, total capacity 128. [shards] clamped to ≥ 1. *)
+
+  val shards : 'a t -> int
+  val find : 'a t -> string -> 'a option
+  val find_or_build : 'a t -> string -> (unit -> 'a) -> 'a
+  val set : 'a t -> string -> 'a -> unit
+  val length : 'a t -> int
+
+  val counters : 'a t -> counters list
+  (** Per shard, in shard-index order. *)
+
+  val fold : (string -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+  val clear : 'a t -> unit
+end

@@ -175,6 +175,9 @@ let stats_to_json (s : Stats.summary) =
           Json.Obj
             [ ( "sessions",
                 Option.fold ~none:Json.Null ~some:counters_to_json sessions );
+              ( "session_shards",
+                Json.List (List.map counters_to_json s.Stats.session_shards)
+              );
               ( "reports",
                 Option.fold ~none:Json.Null ~some:counters_to_json reports )
             ] ) ]

@@ -94,21 +94,29 @@ type t = {
   options : Cex.Driver.options;
   jobs : int;
   clock : Clock.t;
-  sessions : Session.t Cache.t;
+  sessions : Session.t Cache.Sharded.t;
   reports : Cex.Driver.report Cache.t;
 }
 
 let create ?(options = Cex.Driver.default_options) ?(jobs = default_jobs ())
-    ?(cache_capacity = 128) ?(clock = Clock.system) () =
+    ?(cache_capacity = 128) ?(cache_shards = 1) ?(clock = Clock.system) () =
   { options;
     jobs = max 1 jobs;
     clock;
-    sessions = Cache.create ~capacity:cache_capacity ();
+    sessions = Cache.Sharded.create ~shards:cache_shards ~capacity:cache_capacity ();
     reports = Cache.create ~capacity:cache_capacity () }
 
 let jobs t = t.jobs
-let session_cache_counters t = Cache.counters t.sessions
+let options t = t.options
+let clock t = t.clock
+let session_shard_counters t = Cache.Sharded.counters t.sessions
+let session_cache_counters t = Cache.sum_counters (session_shard_counters t)
 let report_cache_counters t = Cache.counters t.reports
+let find_session t digest = Cache.Sharded.find t.sessions digest
+let store_session t digest session = Cache.Sharded.set t.sessions digest session
+let fold_sessions f t init = Cache.Sharded.fold f t.sessions init
+let find_report t digest = Cache.find t.reports digest
+let store_report t digest report = Cache.set t.reports digest report
 
 type batch_result = {
   name : string;
@@ -150,13 +158,13 @@ let analyze_batch t entries =
             | None ->
               let t0 = Clock.now t.clock in
               let session =
-                match Cache.find t.sessions digest with
+                match Cache.Sharded.find t.sessions digest with
                 | Some s ->
                   Trace.count (Session.trace s) "session" "cache_hits" 1;
                   s
                 | None ->
                   let s = Session.create ~clock:t.clock g in
-                  Cache.set t.sessions digest s;
+                  Cache.Sharded.set t.sessions digest s;
                   s
               in
               let table_seconds = Clock.now t.clock -. t0 in
@@ -233,7 +241,9 @@ let analyze_batch t entries =
       prepared
   in
   ( results,
-    Stats.finish stats ~session_cache:(Cache.counters t.sessions)
+    Stats.finish stats
+      ~session_cache:(session_cache_counters t)
+      ~session_shards:(session_shard_counters t)
       ~report_cache:(Cache.counters t.reports) )
 
 let analyze t ?(name = "grammar") g =

@@ -54,16 +54,43 @@ val create :
   ?options:Cex.Driver.options ->
   ?jobs:int ->
   ?cache_capacity:int ->
+  ?cache_shards:int ->
   ?clock:Cex_session.Clock.t ->
   unit ->
   t
 (** [clock] (default the monotonic system clock) drives every deadline and
     stage timing of the service; inject a fake for deterministic timeout
-    tests. *)
+    tests. [cache_shards] (default 1) splits the session cache into
+    independently locked LRU shards addressed by digest hash — the server
+    raises it so concurrent requests on different grammars do not contend
+    on one cache lock; [cache_capacity] is the total across shards. *)
 
 val jobs : t -> int
+val options : t -> Cex.Driver.options
+val clock : t -> Cex_session.Clock.t
+
 val session_cache_counters : t -> Cache.counters
+(** Aggregate over all shards. *)
+
+val session_shard_counters : t -> Cache.counters list
+(** Per shard, in shard-index order. *)
+
 val report_cache_counters : t -> Cache.counters
+
+val find_session : t -> string -> Cex_session.Session.t option
+val store_session : t -> string -> Cex_session.Session.t -> unit
+(** Direct session-cache access for layers (the analysis server) that
+    build sessions through a different path — delta-aware warm
+    construction — but share this instance's cache and counters. *)
+
+val fold_sessions :
+  (string -> Cex_session.Session.t -> 'acc -> 'acc) -> t -> 'acc -> 'acc
+(** Fold over live cached sessions without touching recency or counters
+    (used to rank delta-reuse candidates). *)
+
+val find_report : t -> string -> Cex.Driver.report option
+val store_report : t -> string -> Cex.Driver.report -> unit
+(** Same direct access to the finished-report cache. *)
 
 type batch_result = {
   name : string;  (** caller-supplied label (file name, corpus entry) *)

@@ -6,6 +6,7 @@ type summary = {
   max_queue_depth : int;
   stages : (string * float) list;
   session_cache : Cache.counters option;
+  session_shards : Cache.counters list;
   report_cache : Cache.counters option;
 }
 
@@ -47,7 +48,7 @@ let note_queue_depth t depth =
   with_lock t (fun () ->
       if depth > t.max_queue_depth then t.max_queue_depth <- depth)
 
-let finish ?session_cache ?report_cache t =
+let finish ?session_cache ?(session_shards = []) ?report_cache t =
   with_lock t (fun () ->
       { jobs = t.jobs;
         grammars = t.grammars;
@@ -58,6 +59,7 @@ let finish ?session_cache ?report_cache t =
           Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.stages []
           |> List.sort (fun (a, _) (b, _) -> String.compare a b);
         session_cache;
+        session_shards;
         report_cache })
 
 let pp_summary ppf (s : summary) =
@@ -71,6 +73,9 @@ let pp_summary ppf (s : summary) =
   (match s.session_cache with
   | Some c -> Fmt.pf ppf "@,session cache: %a" Cache.pp_counters c
   | None -> ());
+  List.iteri
+    (fun i c -> Fmt.pf ppf "@,  shard %d: %a" i Cache.pp_counters c)
+    s.session_shards;
   (match s.report_cache with
   | Some c -> Fmt.pf ppf "@,report cache:  %a" Cache.pp_counters c
   | None -> ());

@@ -16,6 +16,10 @@ type summary = {
       (** cumulative seconds per pipeline stage, sorted by stage name
           (e.g. ["table_build"], ["conflict_search"]) *)
   session_cache : Cache.counters option;
+      (** aggregate across shards, for backward-compatible consumers *)
+  session_shards : Cache.counters list;
+      (** per-shard breakdown, in shard-index order; empty when the run
+          did not go through a sharded session cache *)
   report_cache : Cache.counters option;
 }
 
@@ -32,7 +36,10 @@ val note_queue_depth : t -> int -> unit
 (** Record an observed backlog; the summary keeps the maximum. *)
 
 val finish :
-  ?session_cache:Cache.counters -> ?report_cache:Cache.counters -> t ->
+  ?session_cache:Cache.counters ->
+  ?session_shards:Cache.counters list ->
+  ?report_cache:Cache.counters ->
+  t ->
   summary
 
 val pp_summary : Format.formatter -> summary -> unit

@@ -18,6 +18,7 @@ let () =
       Test_driver.suite;
       Test_session.suite;
       Test_service.suite;
+      Test_serve.suite;
       Test_validate.suite;
       Test_baselines.suite;
       Test_corpus.suite;

@@ -244,6 +244,13 @@ let golden =
         "misses": 1,
         "evictions": 0
       },
+      "session_shards": [
+        {
+          "hits": 0,
+          "misses": 1,
+          "evictions": 0
+        }
+      ],
       "reports": {
         "hits": 0,
         "misses": 1,
