@@ -47,8 +47,8 @@ let pp_trace_section ppf metrics =
   if metrics <> [] then
     Fmt.pf ppf "@.[trace]@.%a" Cex_session.Trace.pp_metrics metrics
 
-let run path timeout cumulative extended jobs json trace lint lint_error
-    validate show_states show_naive classify_lr1 show_resolved =
+let run path timeout cumulative extended jobs conflict_jobs json trace lint
+    lint_error validate show_states show_naive classify_lr1 show_resolved =
   match load_grammar path with
   | Error msg ->
     Fmt.epr "error: %s@." msg;
@@ -60,9 +60,16 @@ let run path timeout cumulative extended jobs json trace lint lint_error
     let diagnostics =
       if lint || lint_error then Some (Cex_lint.Lint.run table) else None
     in
+    (* Conflict-level fan-out: --conflict-jobs wins; otherwise inherit
+       --jobs; otherwise the whole machine. Reports are byte-identical at
+       any value, so auto is safe. *)
+    let conflict_jobs =
+      if conflict_jobs > 0 then conflict_jobs
+      else if jobs > 1 then jobs
+      else Cex_session.Pool.default_jobs ()
+    in
     let report =
-      if jobs <= 1 then Cex.Driver.analyze_session ~options session
-      else Cex_service.Scheduler.analyze_session ~options ~jobs session
+      Cex.Driver.analyze_session ~options ~jobs:conflict_jobs session
     in
     let report =
       if validate then
@@ -563,6 +570,16 @@ let jobs_arg =
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:"Analyze conflicts on $(docv) worker domains in parallel.")
 
+let conflict_jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "conflict-jobs" ] ~docv:"N"
+        ~doc:"Fan the conflicts of one grammar across $(docv) worker \
+              domains (the intra-grammar level of the two-level scheduler; \
+              reports are byte-identical at any value). 0 (the default) \
+              picks automatically: $(b,--jobs) if given, otherwise every \
+              core.")
+
 let json_arg =
   Arg.(
     value & flag
@@ -634,8 +651,9 @@ let analyze_term =
   in
   Term.(
     const run $ path_arg $ timeout_arg $ cumulative_arg $ extended_arg
-    $ jobs_arg $ json_arg $ trace_arg $ lint_arg $ lint_error_arg
-    $ validate_arg $ states_arg $ naive_arg $ lr1_arg $ resolved_arg)
+    $ jobs_arg $ conflict_jobs_arg $ json_arg $ trace_arg $ lint_arg
+    $ lint_error_arg $ validate_arg $ states_arg $ naive_arg $ lr1_arg
+    $ resolved_arg)
 
 let analyze_cmd =
   Cmd.v
@@ -830,6 +848,7 @@ let cmd =
    file, as the original single-command CLI did. cmdliner groups would
    otherwise reject the unknown "command". *)
 let () =
+  Cex_session.Pool.tune_gc ();
   let argv = Sys.argv in
   let argv =
     if

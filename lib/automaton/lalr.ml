@@ -21,7 +21,19 @@ let grammar a = Lr0.grammar a.lr0
 
    Merging contexts per (state, item) with set union is exactly the LALR(1)
    approximation; this is the per-(state, item) quotient of the paper's
-   lookahead-sensitive graph. *)
+   lookahead-sensitive graph.
+
+   The iteration state lives in flat per-state integer rows (one
+   [Bitset.words]-wide slice per item) ORed in place, so a fixpoint step
+   allocates nothing: the old set-per-cell version paid a [Bitset.union]
+   plus [Bitset.equal] allocation and scan on every edge, which dominated
+   the automaton construction on big grammars. Each production edge also
+   splits [followL] into its static part — the memoized
+   [Analysis.first_of_prod] of the suffix — and a conditional copy of the
+   source row when the suffix is nullable, instead of rebuilding the union
+   per visit. The least fixpoint is the same; only its representation
+   during iteration differs, and the rows are frozen back to canonical
+   [Bitset.t]s at the end. *)
 let build ?analysis lr0 =
   let g = Lr0.grammar lr0 in
   let analysis =
@@ -29,63 +41,110 @@ let build ?analysis lr0 =
     | Some a -> a
     | None -> Analysis.make g
   in
-  let lookaheads =
-    Array.init (Lr0.n_states lr0) (fun s ->
-        Array.make (Array.length (Lr0.state lr0 s).Lr0.items) Bitset.empty)
-  in
+  let n_states = Lr0.n_states lr0 in
+  let n_items s = Array.length (Lr0.state lr0 s).Lr0.items in
+  let width = Bitset.words ~capacity:(Grammar.n_terminals g) in
+  (* Items are numbered globally ([base.(s) + local index]) so the whole
+     iteration state is three flat allocations, not three per state. *)
+  let base = Array.make (n_states + 1) 0 in
+  for s = 0 to n_states - 1 do
+    base.(s + 1) <- base.(s) + n_items s
+  done;
+  let total = base.(n_states) in
+  let state_of = Array.make (max 1 total) 0 in
+  for s = 0 to n_states - 1 do
+    for gi = base.(s) to base.(s + 1) - 1 do
+      state_of.(gi) <- s
+    done
+  done;
+  let rows = Array.make (max 1 (total * width)) 0 in
   let queue = Queue.create () in
-  let on_queue =
-    Array.init (Lr0.n_states lr0) (fun s ->
-        Array.make (Array.length (Lr0.state lr0 s).Lr0.items) false)
-  in
-  let push s idx =
-    if not on_queue.(s).(idx) then begin
-      on_queue.(s).(idx) <- true;
-      Queue.add (s, idx) queue
+  let on_queue = Bytes.make (max 1 total) '\000' in
+  let push gi =
+    if Bytes.unsafe_get on_queue gi = '\000' then begin
+      Bytes.unsafe_set on_queue gi '\001';
+      Queue.add gi queue
     end
   in
-  let union_into s idx extra =
-    let current = lookaheads.(s).(idx) in
-    let bigger = Bitset.union current extra in
-    if not (Bitset.equal bigger current) then begin
-      lookaheads.(s).(idx) <- bigger;
-      push s idx
-    end
+  (* OR one [width]-word row into another, in place; source and destination
+     may coincide (a left-recursive initial item feeds itself — the OR is
+     then a no-op, which is correct). *)
+  let or_row soff doff =
+    let changed = ref false in
+    for w = 0 to width - 1 do
+      let v = rows.(doff + w) lor rows.(soff + w) in
+      if v <> rows.(doff + w) then begin
+        rows.(doff + w) <- v;
+        changed := true
+      end
+    done;
+    !changed
   in
   let start_idx =
     match Lr0.item_index (Lr0.state lr0 Lr0.start_state) Item.start with
     | Some idx -> idx
     | None -> assert false
   in
-  union_into Lr0.start_state start_idx (Bitset.singleton 0);
+  (* Initial item id per production, so the inner loop below allocates no
+     item records. *)
+  let init_id =
+    Array.init (Grammar.n_productions g) (fun p ->
+        Lr0.item_id lr0 (Item.make p 0))
+  in
+  (* The static FIRST part of a production edge does not depend on the
+     source lookaheads, so it is applied exactly once per source item; a
+     re-pop of an item whose suffix is non-nullable then skips the whole
+     production fan-out. *)
+  let static_done = Bytes.make (max 1 total) '\000' in
+  (* Seed: EOF (terminal 0) follows the start item. *)
+  rows.((base.(Lr0.start_state) + start_idx) * width) <- 1;
+  push (base.(Lr0.start_state) + start_idx);
   while not (Queue.is_empty queue) do
-    let s, idx = Queue.pop queue in
-    on_queue.(s).(idx) <- false;
+    let gi = Queue.pop queue in
+    let s = state_of.(gi) in
+    let idx = gi - base.(s) in
+    Bytes.unsafe_set on_queue gi '\000';
     let st = Lr0.state lr0 s in
-    let item = st.Lr0.items.(idx) in
-    let la = lookaheads.(s).(idx) in
-    match Item.next_symbol g item with
+    let gid = st.Lr0.item_ids.(idx) in
+    match Lr0.next_symbol_of_id lr0 gid with
     | None -> ()
     | Some sym ->
       (match Lr0.transition lr0 s sym with
       | None -> assert false
       | Some s' ->
-        let st' = Lr0.state lr0 s' in
-        (match Lr0.item_index st' (Item.advance item) with
-        | Some idx' -> union_into s' idx' la
-        | None -> assert false));
+        (* The advanced item's id is this item's plus one. *)
+        let idx' = Lr0.local_index_of_id lr0 s' (gid + 1) in
+        assert (idx' >= 0);
+        let gi' = base.(s') + idx' in
+        if or_row (gi * width) (gi' * width) then push gi');
       (match sym with
       | Symbol.Terminal _ -> ()
       | Symbol.Nonterminal nt ->
-        let prod = Item.production g item in
-        let follow = Analysis.follow_l analysis prod ~dot:item.Item.dot la in
-        List.iter
-          (fun p ->
-            match Lr0.item_index st (Item.make p 0) with
-            | Some idx' -> union_into s idx' follow
-            | None -> assert false)
-          (Grammar.productions_of g nt))
+        let item = st.Lr0.items.(idx) in
+        let first, nullable =
+          Analysis.first_of_prod analysis ~prod:item.Item.prod
+            ~from:(item.Item.dot + 1)
+        in
+        let fresh = Bytes.get static_done gi = '\000' in
+        if fresh then Bytes.set static_done gi '\001';
+        if fresh || nullable then
+          List.iter
+            (fun p ->
+              let idx' = Lr0.local_index_of_id lr0 s init_id.(p) in
+              assert (idx' >= 0);
+              let gi' = base.(s) + idx' in
+              let from_first =
+                fresh && Bitset.blit_or first rows (gi' * width) width
+              in
+              let from_la = nullable && or_row (gi * width) (gi' * width) in
+              if from_first || from_la then push gi')
+            (Grammar.productions_of g nt))
   done;
+  let lookaheads =
+    Array.init n_states (fun s ->
+        Array.init (n_items s) (fun idx ->
+            Bitset.of_words rows ((base.(s) + idx) * width) width))
+  in
   { lr0; analysis; lookaheads }
 
 let lookahead a s idx = a.lookaheads.(s).(idx)

@@ -11,7 +11,8 @@ type state = {
   id : int;
   items : Item.t array;
   item_ids : int array;  (* global id per item, ascending *)
-  local_of_id : int array;  (* global id -> index into [items]; -1 = absent *)
+  id_words : int array;  (* membership bitmap over global ids *)
+  id_rank : int array;  (* ids below each bitmap word: rank/select index *)
   offsets : int array;  (* shared interning table, one cell per production *)
   accessing : Symbol.t option;
   goto_terminal : int array;
@@ -44,11 +45,33 @@ let next_symbol_of_id a id = a.id_next.(id)
 let lhs_of_id a id = a.id_lhs.(id)
 let rhs_length_of_id a id = a.id_rhs_len.(id)
 
-let local_index_of_id a s id =
-  let l = a.states.(s).local_of_id.(id) in
-  l
+(* Item membership and position, via a rank/select bitmap per state: a dense
+   [int array] per state over the whole id space would cost
+   [n_states * n_item_ids] words (tens of megabytes on big grammars, and most
+   of [build]'s time just zeroing it); the bitmap plus per-word rank prefix
+   is a small fraction of the size with both queries still constant-time.
+   Chunks are 32 bits — not the native word — so the index split compiles to
+   a shift and a mask instead of a division by 63, which is what the search
+   inner loops would otherwise pay on every membership probe. *)
 
-let has_item_id a s id = a.states.(s).local_of_id.(id) >= 0
+let popcount x =
+  let c = ref 0 and x = ref x in
+  while !x <> 0 do
+    x := !x land (!x - 1);
+    incr c
+  done;
+  !c
+
+let local_index_of_id a s id =
+  let st = a.states.(s) in
+  let word = st.id_words.(id lsr 5) in
+  let bit = 1 lsl (id land 31) in
+  if word land bit = 0 then -1
+  else st.id_rank.(id lsr 5) + popcount (word land (bit - 1))
+
+let has_item_id a s id =
+  let st = a.states.(s) in
+  st.id_words.(id lsr 5) land (1 lsl (id land 31)) <> 0
 
 let transition a s sym =
   let st = a.states.(s) in
@@ -61,10 +84,13 @@ let transition a s sym =
 
 let item_index (st : state) (item : Item.t) =
   let id = st.offsets.(item.Item.prod) + item.Item.dot in
-  if id < 0 || id >= Array.length st.local_of_id then None
+  let w = id lsr 5 in
+  if id < 0 || w >= Array.length st.id_words then None
   else
-    let l = st.local_of_id.(id) in
-    if l < 0 then None else Some l
+    let word = st.id_words.(w) in
+    let bit = 1 lsl (id land 31) in
+    if word land bit = 0 then None
+    else Some (st.id_rank.(w) + popcount (word land (bit - 1)))
 
 let has_item st item = item_index st item <> None
 
@@ -78,26 +104,6 @@ let reduce_items a s =
   let st = a.states.(s) in
   Array.to_list st.items
   |> List.filter (fun item -> Item.is_reduce a.grammar item)
-
-(* Closure of a kernel: add the initial item of every production of a
-   nonterminal that appears after a dot, transitively. *)
-let closure g kernel =
-  let seen : (Item.t, unit) Hashtbl.t = Hashtbl.create 16 in
-  let result = ref [] in
-  let rec add item =
-    if not (Hashtbl.mem seen item) then begin
-      Hashtbl.add seen item ();
-      result := item :: !result;
-      match Item.next_symbol g item with
-      | Some (Symbol.Nonterminal nt) ->
-        List.iter (fun p -> add (Item.make p 0)) (Grammar.productions_of g nt)
-      | Some (Symbol.Terminal _) | None -> ()
-    end
-  in
-  List.iter add kernel;
-  let items = Array.of_list !result in
-  Array.sort Item.compare items;
-  items
 
 (* The interning table: one dense id per (production, dot) pair. *)
 let build_offsets g =
@@ -134,23 +140,58 @@ let build g =
   done;
   let states : state array ref = ref [||] in
   let count = ref 0 in
-  let by_kernel : (Item.t list, int) Hashtbl.t = Hashtbl.create 64 in
+  (* Everything below works on interned ids: kernels are sorted id lists
+     (ids are bijective with items and monotone in [Item.compare] order, so
+     the keying is equivalent to the old structural one, minus the
+     structural hashing), closures mark a shared byte map instead of a
+     per-call item hashtable, and next-symbol lookups are [id_next] reads. *)
+  let by_kernel : (int list, int) Hashtbl.t = Hashtbl.create 64 in
   let pending = Queue.create () in
-  let intern kernel accessing =
-    let kernel = List.sort Item.compare kernel in
-    match Hashtbl.find_opt by_kernel kernel with
+  let nwords = max 1 ((n_item_ids + 31) lsr 5) in
+  (* Closure scratch, reused across states and reset via the result list. *)
+  let closure_seen = Bytes.make n_item_ids '\000' in
+  let closure kernel_ids =
+    let result = ref [] in
+    let rec add gid =
+      if Bytes.unsafe_get closure_seen gid = '\000' then begin
+        Bytes.unsafe_set closure_seen gid '\001';
+        result := gid :: !result;
+        match id_next.(gid) with
+        | Some (Symbol.Nonterminal nt) ->
+          List.iter (fun p -> add offsets.(p)) (Grammar.productions_of g nt)
+        | Some (Symbol.Terminal _) | None -> ()
+      end
+    in
+    List.iter add kernel_ids;
+    let ids = !result in
+    List.iter (fun gid -> Bytes.unsafe_set closure_seen gid '\000') ids;
+    let item_ids = Array.of_list ids in
+    Array.sort (fun (a : int) b -> compare a b) item_ids;
+    item_ids
+  in
+  let intern kernel_ids accessing =
+    let kernel_ids = List.sort_uniq (fun (a : int) b -> compare a b) kernel_ids in
+    match Hashtbl.find_opt by_kernel kernel_ids with
     | Some id -> id
     | None ->
       let id = !count in
       incr count;
-      Hashtbl.add by_kernel kernel id;
-      let items = closure g kernel in
-      let n_items = Array.length items in
-      let item_ids =
-        Array.map (fun (i : Item.t) -> offsets.(i.Item.prod) + i.Item.dot) items
-      in
-      let local_of_id = Array.make n_item_ids (-1) in
-      Array.iteri (fun l gid -> local_of_id.(gid) <- l) item_ids;
+      Hashtbl.add by_kernel kernel_ids id;
+      let item_ids = closure kernel_ids in
+      let n_items = Array.length item_ids in
+      let items = Array.map (fun gid -> id_item.(gid)) item_ids in
+      let id_words = Array.make nwords 0 in
+      Array.iter
+        (fun gid ->
+          let w = gid lsr 5 in
+          id_words.(w) <- id_words.(w) lor (1 lsl (gid land 31)))
+        item_ids;
+      let id_rank = Array.make nwords 0 in
+      let rank = ref 0 in
+      for w = 0 to nwords - 1 do
+        id_rank.(w) <- !rank;
+        rank := !rank + popcount id_words.(w)
+      done;
       let with_next_terminal = Array.make n_t [] in
       let with_next_nonterminal = Array.make n_nt [] in
       (* Consed in reverse so each bucket lists items in [items] order, the
@@ -167,7 +208,8 @@ let build g =
         { id;
           items;
           item_ids;
-          local_of_id;
+          id_words;
+          id_rank;
           offsets;
           accessing;
           goto_terminal = Array.make n_t (-1);
@@ -187,29 +229,49 @@ let build g =
       Queue.add id pending;
       id
   in
-  let (_ : int) = intern [ Item.start ] None in
+  let (_ : int) = intern [ offsets.(0) ] None in
+  (* First-seen-symbol scratch for the transition grouping, reused across
+     states. The enumeration order of the symbols below is the first
+     occurrence over the state's sorted [items] — it decides the successor
+     interning order and hence the state numbering, which downstream goldens
+     pin, so it must match the old hashtable walk exactly. *)
+  let seen_t = Array.make n_t false in
+  let seen_nt = Array.make n_nt false in
   while not (Queue.is_empty pending) do
     let id = Queue.pop pending in
     let st = !states.(id) in
-    (* Group items by their next symbol. *)
-    let by_symbol : (Symbol.t, Item.t list ref) Hashtbl.t = Hashtbl.create 8 in
     let order = ref [] in
     Array.iter
-      (fun item ->
-        match Item.next_symbol g item with
+      (fun gid ->
+        match id_next.(gid) with
         | None -> ()
-        | Some sym -> (
-          match Hashtbl.find_opt by_symbol sym with
-          | Some l -> l := item :: !l
-          | None ->
-            Hashtbl.add by_symbol sym (ref [ item ]);
-            order := sym :: !order))
-      st.items;
+        | Some (Symbol.Terminal t) when not seen_t.(t) ->
+          seen_t.(t) <- true;
+          order := Symbol.Terminal t :: !order
+        | Some (Symbol.Nonterminal nt) when not seen_nt.(nt) ->
+          seen_nt.(nt) <- true;
+          order := Symbol.Nonterminal nt :: !order
+        | Some _ -> ())
+      st.item_ids;
     List.iter
       (fun sym ->
-        let sources = !(Hashtbl.find by_symbol sym) in
-        let kernel = List.map Item.advance sources in
-        let target = intern kernel (Some sym) in
+        (* The source bucket was built by [intern]; advancing an item adds
+           one to its id. *)
+        let sources =
+          match sym with
+          | Symbol.Terminal t ->
+            seen_t.(t) <- false;
+            st.with_next_terminal.(t)
+          | Symbol.Nonterminal nt ->
+            seen_nt.(nt) <- false;
+            st.with_next_nonterminal.(nt)
+        in
+        let kernel_ids =
+          List.map
+            (fun (i : Item.t) -> offsets.(i.Item.prod) + i.Item.dot + 1)
+            sources
+        in
+        let target = intern kernel_ids (Some sym) in
         (match sym with
         | Symbol.Terminal t -> st.goto_terminal.(t) <- target
         | Symbol.Nonterminal nt -> st.goto_nonterminal.(nt) <- target);
@@ -228,6 +290,64 @@ let build g =
     id_rhs_len }
 
 let predecessors a s = a.states.(s).predecessors
+
+(* Backward reachability over (state, item) pairs, ignoring lookaheads: which
+   vertices can reach the target item at all? This is the paper's section-6
+   pruning for the lookahead-sensitive shortest-path search. The bitmap
+   depends only on the automaton and the target, so callers (the analysis
+   session) memoize it per (state, item id) and share it across every
+   conflict of the same reduce item.
+
+   Vertices are the packed integers [state * n_item_ids + item_id] over the
+   interned item ids, so the visited set is a flat bitmap and the worklist a
+   queue of ints — no structural hashing anywhere. *)
+let backward_reach a ~state:target_state ~item_id:target_id =
+  let n_ids = a.n_item_ids in
+  let reach = Bytes.make ((n_states a * n_ids + 7) lsr 3) '\000' in
+  let mem key =
+    Char.code (Bytes.unsafe_get reach (key lsr 3)) land (1 lsl (key land 7))
+    <> 0
+  in
+  let set key =
+    Bytes.unsafe_set reach (key lsr 3)
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get reach (key lsr 3))
+         lor (1 lsl (key land 7))))
+  in
+  let queue = Queue.create () in
+  let visit state id =
+    let key = (state * n_ids) + id in
+    if not (mem key) then begin
+      set key;
+      Queue.add key queue
+    end
+  in
+  visit target_state target_id;
+  while not (Queue.is_empty queue) do
+    let key = Queue.pop queue in
+    let state = key / n_ids and id = key mod n_ids in
+    let item = item_of_id a id in
+    (* Reverse transition: the dot moved over the accessing symbol. An
+       advanced item's id is its predecessor's plus one, so retreating is a
+       decrement. *)
+    if item.Item.dot > 0 then
+      List.iter
+        (fun pred -> if has_item_id a pred (id - 1) then visit pred (id - 1))
+        (predecessors a state)
+    else begin
+      (* Reverse production step: any item of the same state with this item's
+         left-hand side after the dot. *)
+      let lhs = lhs_of_id a id in
+      List.iter
+        (fun (ctx : Item.t) -> visit state (item_id a ctx))
+        (items_with_next a state (Symbol.Nonterminal lhs))
+    end
+  done;
+  reach
+
+let reach_mem a reach state id =
+  let key = (state * a.n_item_ids) + id in
+  Char.code (Bytes.unsafe_get reach (key lsr 3)) land (1 lsl (key land 7)) <> 0
 
 let kernel_items a s =
   let st = a.states.(s) in

@@ -18,8 +18,11 @@ type state = private {
   id : int;
   items : Item.t array;  (** kernel and closure items, sorted *)
   item_ids : int array;  (** interned id per item, ascending (same order) *)
-  local_of_id : int array;
-      (** interned id -> index into [items]; -1 when the item is absent *)
+  id_words : int array;  (** membership bitmap over the interned id space *)
+  id_rank : int array;
+      (** ids present below each word of [id_words]: with a popcount this
+          answers [local_index_of_id] in constant time at 1/32 the footprint
+          of a dense id-to-index array per state *)
   offsets : int array;  (** shared interning table (id of [(p, 0)] per [p]) *)
   accessing : Symbol.t option;  (** [None] only for the start state *)
   goto_terminal : int array;  (** successor per terminal; -1 = none *)
@@ -78,6 +81,20 @@ val items_with_next : t -> int -> Symbol.t -> Item.t list
     build time. *)
 
 val reduce_items : t -> int -> Item.t list
+
+(** {2 Backward reachability} *)
+
+val backward_reach : t -> state:int -> item_id:int -> Bytes.t
+(** Bitmap over packed [(state, item id)] vertices: which vertices can reach
+    the target item in the target state via reverse transitions (retreat the
+    dot into a predecessor state) and reverse production steps (jump to an
+    item of the same state whose next symbol derives this item's left-hand
+    side)? Depends only on the automaton, so the bitmap is shareable across
+    every conflict on the same reduce item; query it with {!reach_mem}. *)
+
+val reach_mem : t -> Bytes.t -> int -> int -> bool
+(** [reach_mem a reach state id]: membership test against a
+    {!backward_reach} bitmap. *)
 
 val kernel_items : t -> int -> Item.t list
 (** Items with the dot not at the start, plus the start item in state 0. *)

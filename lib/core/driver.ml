@@ -4,6 +4,7 @@ module Session = Cex_session.Session
 module Clock = Cex_session.Clock
 module Deadline = Cex_session.Deadline
 module Trace = Cex_session.Trace
+module Pool = Cex_session.Pool
 
 type options = {
   per_conflict_timeout : float;
@@ -70,11 +71,100 @@ let n_skipped = count Skipped_search
 let n_crashed = count Search_crashed
 
 (* ------------------------------------------------------------------ *)
+(* Session-owned shared search structures. Both are lazily installed in the
+   session's universal store on first use and immutable-after-force (the
+   path memo table grows, but each installed path is final), so every
+   conflict of a session — analyzed sequentially or across domains — shares
+   them. *)
+
+type path_memo = {
+  memo_lock : Mutex.t;
+  (* (conflict state, reduce item id, conflict terminal) -> shortest path.
+     Shift/reduce conflicts are recorded once per shift item, so a state
+     with several shift items on the same terminal shares one entry. *)
+  memo_tbl : (int * int * int, Lookahead_path.t) Hashtbl.t;
+}
+
+let path_memo_key : path_memo Session.Store.key = Session.Store.key ()
+
+let shared_ctx_key : Product_search.shared Session.Store.key =
+  Session.Store.key ()
+
+let path_memo session =
+  Session.shared session path_memo_key (fun () ->
+      { memo_lock = Mutex.create (); memo_tbl = Hashtbl.create 16 })
+
+let shared_ctx session =
+  Session.shared session shared_ctx_key (fun () ->
+      Product_search.shared_of_lalr (Session.lalr session))
+
+(* The shortest lookahead-sensitive path for a conflict, through the session
+   memo. On a miss the search runs with a buffered local collector; only the
+   domain whose result is installed (first writer wins) flushes the span and
+   counters into [trace], so metric totals are identical at any jobs count —
+   exactly one emission per distinct key, whichever domain computed it.
+   Failed searches ([None]: deadline expiry) are never memoized, so a later
+   attempt under a fresh budget can still succeed. *)
+let find_path ~per_conflict session trace conflict =
+  let clock = Session.clock session in
+  let lalr = Session.lalr session in
+  let lr0 = Session.lr0 session in
+  let state = conflict.Conflict.state in
+  let terminal = conflict.Conflict.terminal in
+  let reduce_item = Conflict.reduce_item conflict in
+  let reduce_id = Lr0.item_id lr0 reduce_item in
+  let key = (state, reduce_id, terminal) in
+  let memo = path_memo session in
+  let lookup () =
+    Mutex.lock memo.memo_lock;
+    let r = Hashtbl.find_opt memo.memo_tbl key in
+    Mutex.unlock memo.memo_lock;
+    r
+  in
+  match lookup () with
+  | Some path -> Some path
+  | None ->
+    let local = Trace.collector () in
+    let t0 = Clock.now clock in
+    let w0 = Gc.minor_words () in
+    let relevant =
+      Session.backward_reach session ~state ~item_id:reduce_id
+    in
+    let path =
+      Lookahead_path.find ~deadline:per_conflict
+        ~trace:(Trace.collector_sink local) ~relevant lalr
+        ~conflict_state:state ~reduce_item ~terminal
+    in
+    let words = int_of_float (Gc.minor_words () -. w0) in
+    let seconds = Clock.now clock -. t0 in
+    let emit () =
+      Trace.span trace "path_search" seconds;
+      Trace.count trace "path_search" "alloc_words" words;
+      Trace.replay_counters trace (Trace.metrics local)
+    in
+    (match path with
+    | None ->
+      emit ();
+      None
+    | Some p ->
+      Mutex.lock memo.memo_lock;
+      let installed =
+        match Hashtbl.find_opt memo.memo_tbl key with
+        | Some existing -> existing
+        | None ->
+          Hashtbl.add memo.memo_tbl key p;
+          p
+      in
+      Mutex.unlock memo.memo_lock;
+      if installed == p then emit ();
+      Some installed)
 
 let analyze_conflict ?(options = default_options) ?(skip_search = false)
-    ?(deadline = Deadline.never) session conflict =
+    ?(deadline = Deadline.never) ?trace session conflict =
   let clock = Session.clock session in
-  let trace = Session.trace session in
+  let trace =
+    match trace with Some sink -> sink | None -> Session.trace session
+  in
   let lalr = Session.lalr session in
   let started = Clock.now clock in
   (* Static conflict classification (the lint engine's pattern match) rides
@@ -107,22 +197,18 @@ let analyze_conflict ?(options = default_options) ?(skip_search = false)
   in
   if skip_search || budget_exhausted then fallback Skipped_search 0
   else
-    let path =
-      Trace.timed trace clock "path_search" (fun () ->
-          Lookahead_path.find ~deadline:per_conflict ~trace lalr
-            ~conflict_state:conflict.Conflict.state
-            ~reduce_item:(Conflict.reduce_item conflict)
-            ~terminal:conflict.Conflict.terminal)
-    in
+    let path = find_path ~per_conflict session trace conflict in
     match path with
     | None -> fallback Search_timeout 0
     | Some path -> (
       let path_states = Lookahead_path.states_on_path path in
+      let shared = shared_ctx session in
       match
-        Trace.timed trace clock "product_search" (fun () ->
+        Trace.timed_alloc trace clock "product_search" (fun () ->
             Product_search.search ~costs:options.costs
               ~extended:options.extended ~deadline:per_conflict ~trace
-              ~max_configs:options.max_configs lalr ~conflict ~path_states)
+              ~max_configs:options.max_configs ~shared lalr ~conflict
+              ~path_states)
       with
       | Product_search.Unifying (u, stats) ->
         finish
@@ -155,18 +241,45 @@ let crashed_conflict_report session conflict exn backtrace =
          else Printexc.to_string exn ^ "\n" ^ backtrace);
     validation = Not_validated }
 
-let analyze_session ?(options = default_options) session =
+let analyze_session ?(options = default_options) ?(jobs = 1) session =
   let clock = Session.clock session in
   let started = Clock.now clock in
   let deadline = Deadline.budget clock options.cumulative_timeout in
+  let conflicts = Array.of_list (Session.conflicts session) in
+  let n = Array.length conflicts in
+  (* Clamp like the pool will, so the per-task collector buffering below
+     is only paid when domains will actually run concurrently. *)
+  let jobs = Pool.clamp_jobs (min jobs (max 1 n)) in
+  (* One conflict per task, results collected by conflict index, so the
+     report order is the automaton order regardless of which domain ran
+     what. A crash in one task degrades to a [Search_crashed] report instead
+     of poisoning the whole session. *)
+  let task trace i =
+    let conflict = conflicts.(i) in
+    try analyze_conflict ~options ~deadline ?trace session conflict
+    with e ->
+      crashed_conflict_report session conflict e (Printexc.get_backtrace ())
+  in
   let conflict_reports =
-    List.map
-      (analyze_conflict ~options ~deadline session)
-      (Session.conflicts session)
+    if jobs > 1 && Session.has_private_collector session then begin
+      (* Per-task collectors, merged in conflict order after the join: the
+         worker domains never contend on the session collector's lock, and
+         the merged totals are independent of domain scheduling. *)
+      let locals = Array.map (fun _ -> Trace.collector ()) conflicts in
+      let results =
+        Pool.run ~jobs n (fun i ->
+            task (Some (Trace.collector_sink locals.(i))) i)
+      in
+      Array.iter
+        (fun local -> Session.absorb_metrics session (Trace.metrics local))
+        locals;
+      results
+    end
+    else Pool.run ~jobs n (task None)
   in
   { table = Session.table session;
-    conflict_reports;
+    conflict_reports = Array.to_list conflict_reports;
     total_elapsed = Clock.now clock -. started;
     metrics = Session.metrics session }
 
-let analyze ?options g = analyze_session ?options (Session.create g)
+let analyze ?options ?jobs g = analyze_session ?options ?jobs (Session.create g)

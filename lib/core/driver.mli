@@ -74,18 +74,32 @@ type report = {
           when the session was created with an external trace sink *)
 }
 
-val analyze : ?options:options -> Cfg.Grammar.t -> report
+val analyze : ?options:options -> ?jobs:int -> Cfg.Grammar.t -> report
 (** [analyze g] is [analyze_session (Cex_session.Session.create g)]. *)
 
-val analyze_session : ?options:options -> Cex_session.Session.t -> report
-(** Analyze every conflict of the session sequentially under a fresh
-    cumulative {!Cex_session.Deadline.budget} of
-    [options.cumulative_timeout] seconds of consumed search time. *)
+val analyze_session :
+  ?options:options -> ?jobs:int -> Cex_session.Session.t -> report
+(** Analyze every conflict of the session under a fresh cumulative
+    {!Cex_session.Deadline.budget} of [options.cumulative_timeout] seconds
+    of consumed search time.
+
+    [jobs] (default 1) is the conflict-level fan-out: with [jobs > 1] the
+    conflicts are spawned as tasks across that many domains, sharing the
+    single cumulative budget and the session's memoized search structures.
+    Reports are collected by conflict index, so the report order — and,
+    because the memoized shortest paths are deterministic, every
+    non-timing field of every report — is identical at any jobs count.
+    Per-task metric collectors are merged into the session's collector in
+    conflict order after the join.
+
+    A conflict whose search raises yields a {!Search_crashed} report (at
+    any jobs count) instead of aborting the session. *)
 
 val analyze_conflict :
   ?options:options ->
   ?skip_search:bool ->
   ?deadline:Cex_session.Deadline.t ->
+  ?trace:Cex_session.Trace.sink ->
   Cex_session.Session.t ->
   Conflict.t ->
   conflict_report
@@ -97,7 +111,15 @@ val analyze_conflict :
     afterwards. When the budget is already exhausted (or [skip_search] is
     set) the searches are skipped entirely — no path computation — and the
     report falls back to a nonunifying counterexample with
-    {!Skipped_search}. *)
+    {!Skipped_search}.
+
+    [trace] overrides the session's sink for this conflict's spans and
+    counters (the parallel driver passes per-task collectors); the
+    ["path_search"] and ["product_search"] stages carry an ["alloc_words"]
+    counter with the [Gc.minor_words] delta of the search. Shortest paths
+    are memoized on the session per (conflict state, reduce item, terminal):
+    a memo hit emits no ["path_search"] span, so span and counter totals
+    count distinct searches, not conflicts. *)
 
 val crashed_conflict_report :
   Cex_session.Session.t -> Conflict.t -> exn -> string -> conflict_report

@@ -48,60 +48,19 @@ let pp g ppf path =
 
 (* ------------------------------------------------------------------ *)
 
-(* Backward reachability over (state, item) pairs, ignoring lookaheads: which
-   vertices can reach the conflict item at all? This is the paper's section-6
-   optimization: the forward Dijkstra then never expands vertices that cannot
-   reach the target.
-
-   Vertices are the packed integers [state * n_item_ids + item_id] over the
-   automaton's interned item ids, so the visited set is a flat bitmap and the
-   worklist a queue of ints — no structural hashing anywhere. *)
+(* Backward reachability (the paper's section-6 pruning: the forward
+   Dijkstra never expands vertices that cannot reach the target) now lives
+   in [Lr0.backward_reach], where the bitmap depends only on the automaton;
+   the driver memoizes it per session via [Session.backward_reach] and
+   passes it in as [?relevant]. Standalone callers fall back to computing
+   it here per call. *)
 let backward_reachable_ids lalr ~conflict_state ~target_item =
   let lr0 = Lalr.lr0 lalr in
-  let n_ids = Lr0.n_item_ids lr0 in
   let reach =
-    Bytes.make ((Lr0.n_states lr0 * n_ids + 7) lsr 3) '\000'
+    Lr0.backward_reach lr0 ~state:conflict_state
+      ~item_id:(Lr0.item_id lr0 target_item)
   in
-  let mem key =
-    Char.code (Bytes.unsafe_get reach (key lsr 3)) land (1 lsl (key land 7))
-    <> 0
-  in
-  let set key =
-    Bytes.unsafe_set reach (key lsr 3)
-      (Char.unsafe_chr
-         (Char.code (Bytes.unsafe_get reach (key lsr 3))
-         lor (1 lsl (key land 7))))
-  in
-  let queue = Queue.create () in
-  let visit state id =
-    let key = (state * n_ids) + id in
-    if not (mem key) then begin
-      set key;
-      Queue.add key queue
-    end
-  in
-  visit conflict_state (Lr0.item_id lr0 target_item);
-  while not (Queue.is_empty queue) do
-    let key = Queue.pop queue in
-    let state = key / n_ids and id = key mod n_ids in
-    let item = Lr0.item_of_id lr0 id in
-    (* Reverse transition: the dot moved over the accessing symbol. An
-       advanced item's id is its predecessor's plus one, so retreating is a
-       decrement. *)
-    if item.Item.dot > 0 then
-      List.iter
-        (fun pred -> if Lr0.has_item_id lr0 pred (id - 1) then visit pred (id - 1))
-        (Lr0.predecessors lr0 state)
-    else begin
-      (* Reverse production step: any item of the same state with this item's
-         left-hand side after the dot. *)
-      let lhs = Lr0.lhs_of_id lr0 id in
-      List.iter
-        (fun (ctx : Item.t) -> visit state (Lr0.item_id lr0 ctx))
-        (Lr0.items_with_next lr0 state (Symbol.Nonterminal lhs))
-    end
-  done;
-  fun state id -> mem ((state * n_ids) + id)
+  fun state id -> Lr0.reach_mem lr0 reach state id
 
 type search_entry = {
   state : int;
@@ -109,6 +68,41 @@ type search_entry = {
   lookahead : Bitset.t;
   parent : (search_entry * step) option;
 }
+
+(* Per-domain scratch pool. The visited array is sized by the automaton and
+   zeroed between searches by replaying the touched keys (bounded by the
+   pops of the previous search, not the array size); the bucket queue keeps
+   its bucket capacity across searches. Take-out/put-back through the DLS
+   slot: a search that raises abandons the scratch (slot left [None]), so a
+   dirty structure is never reused. *)
+type scratch = {
+  mutable visited : Bitset.t list array;
+  mutable touched : int list;
+  queue : search_entry Bucket_queue.t;
+}
+
+let scratch_slot : scratch option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let take_scratch ~size =
+  let slot = Domain.DLS.get scratch_slot in
+  let s =
+    match !slot with
+    | Some s -> s
+    | None -> { visited = [||]; touched = []; queue = Bucket_queue.create () }
+  in
+  slot := None;
+  if Array.length s.visited <> size then begin
+    s.visited <- Array.make size [];
+    s.touched <- []
+  end;
+  s
+
+let put_scratch s =
+  List.iter (fun key -> s.visited.(key) <- []) s.touched;
+  s.touched <- [];
+  Bucket_queue.clear s.queue;
+  Domain.DLS.get scratch_slot := Some s
 
 (* Shortest lookahead-sensitive path (paper section 4) from the start item
    with precise lookahead {$} to the conflict reduce item with the conflict
@@ -120,17 +114,19 @@ type search_entry = {
    replacement for the old polymorphic-hash vertex table. *)
 let find ?(transition_cost = 1) ?(production_cost = 0)
     ?(deadline = Cex_session.Deadline.never) ?(trace = Cex_session.Trace.null)
-    lalr ~conflict_state ~reduce_item ~terminal =
+    ?relevant lalr ~conflict_state ~reduce_item ~terminal =
   let lr0 = Lalr.lr0 lalr in
   let g = Lalr.grammar lalr in
   let analysis = Lalr.analysis lalr in
   let n_ids = Lr0.n_item_ids lr0 in
   let relevant =
-    backward_reachable_ids lalr ~conflict_state ~target_item:reduce_item
+    match relevant with
+    | Some f -> f
+    | None ->
+      backward_reachable_ids lalr ~conflict_state ~target_item:reduce_item
   in
-  let visited : Bitset.t list array =
-    Array.make (Lr0.n_states lr0 * n_ids) []
-  in
+  let scratch = take_scratch ~size:(Lr0.n_states lr0 * n_ids) in
+  let visited = scratch.visited in
   let target_id = Lr0.item_id lr0 reduce_item in
   let start =
     { state = Lr0.start_state;
@@ -138,35 +134,35 @@ let find ?(transition_cost = 1) ?(production_cost = 0)
       lookahead = Bitset.singleton 0;
       parent = None }
   in
-  let queue = ref (Pqueue.add Pqueue.empty 0 start) in
+  let queue = scratch.queue in
+  Bucket_queue.add queue 0 start;
   let result = ref None in
   let pops = ref 0 in
   let relaxations = ref 0 in
   let timed_out = ref (Cex_session.Deadline.expired deadline) in
   let push cost entry =
     incr relaxations;
-    queue := Pqueue.add !queue cost entry
+    Bucket_queue.add queue cost entry
   in
   while
     Option.is_none !result && (not !timed_out)
-    && not (Pqueue.is_empty !queue)
+    && not (Bucket_queue.is_empty queue)
   do
     if
       !pops land Cex_session.Deadline.poll_mask = 0 && !pops > 0
       && Cex_session.Deadline.expired deadline
     then timed_out := true
     else
-    match Pqueue.pop !queue with
+    match Bucket_queue.pop queue with
     | None -> assert false
-    | Some (cost, entry, rest) ->
-      queue := rest;
+    | Some (cost, entry) ->
       incr pops;
       let { state; id; lookahead; _ } = entry in
       let key = (state * n_ids) + id in
-      if
-        not (List.exists (fun la -> Bitset.equal la lookahead) visited.(key))
-      then begin
-        visited.(key) <- lookahead :: visited.(key);
+      let prev = visited.(key) in
+      if not (List.exists (fun la -> Bitset.equal la lookahead) prev) then begin
+        if prev == [] then scratch.touched <- key :: scratch.touched;
+        visited.(key) <- lookahead :: prev;
         if state = conflict_state && id = target_id
            && Bitset.mem lookahead terminal
         then result := Some entry
@@ -202,6 +198,7 @@ let find ?(transition_cost = 1) ?(production_cost = 0)
         end
       end
   done;
+  put_scratch scratch;
   Cex_session.Trace.count trace "path_search" "relaxations" !relaxations;
   Cex_session.Trace.count trace "path_search" "pops" !pops;
   match !result with

@@ -35,6 +35,7 @@ val find :
   ?production_cost:int ->
   ?deadline:Cex_session.Deadline.t ->
   ?trace:Cex_session.Trace.sink ->
+  ?relevant:(int -> int -> bool) ->
   Lalr.t ->
   conflict_state:int ->
   reduce_item:Item.t ->
@@ -46,7 +47,15 @@ val find :
     expires; the Dijkstra polls it on loop entry and every
     {!Cex_session.Deadline.poll_interval} pops. Emits [relaxations] and
     [pops] counters for the ["path_search"] stage into [trace]. Default
-    costs: transitions 1, production steps 0 (shortest in symbols). *)
+    costs: transitions 1, production steps 0 (shortest in symbols).
+
+    [relevant] is the backward-reachability pruning predicate over
+    [(state, item id)] pairs ({!Automaton.Lr0.backward_reach}); pass the
+    session-memoized one ({!Cex_session.Session.backward_reach}) to share
+    the bitmap across conflicts — by default it is recomputed per call.
+    It must be exactly backward reachability for the same target: the
+    pruning only affects which dead-end vertices are expanded, never the
+    path found. *)
 
 val prefix_symbols : t -> Symbol.t list
 (** The symbols of the transition edges: the counterexample prefix that takes

@@ -516,9 +516,54 @@ let success ctx cfg =
 
 (* ------------------------------------------------------------------ *)
 
+(* Automaton-level pieces of the context that every conflict of a grammar
+   shares; the driver memoizes one per session and passes it in. *)
+type shared = {
+  s_kbits : int;
+  s_first_id : int array;
+}
+
+let shared_of_lalr lalr =
+  let lr0 = Lalr.lr0 lalr in
+  let g = Lalr.grammar lalr in
+  { s_kbits =
+      (let n = Lr0.n_item_ids lr0 in
+       let rec go b = if 1 lsl b >= n then b else go (b + 1) in
+       go 1);
+    s_first_id =
+      Array.init (Grammar.n_productions g) (fun p ->
+          Lr0.item_id lr0 (Item.make p 0)) }
+
+(* Per-domain scratch pool: the visited table keeps its bucket capacity
+   across searches ([Ktbl.clear] does not shrink), and so does the bucket
+   queue. Take-out/put-back through the DLS slot: a search that raises
+   abandons the scratch, so a dirty structure is never reused. *)
+type scratch = {
+  visited : unit Ktbl.t;
+  queue : config Bucket_queue.t;
+}
+
+let scratch_slot : scratch option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let take_scratch () =
+  let slot = Domain.DLS.get scratch_slot in
+  let s =
+    match !slot with
+    | Some s -> s
+    | None -> { visited = Ktbl.create 4096; queue = Bucket_queue.create () }
+  in
+  slot := None;
+  s
+
+let put_scratch s =
+  Ktbl.clear s.visited;
+  Bucket_queue.clear s.queue;
+  Domain.DLS.get scratch_slot := Some s
+
 let search ?(costs = default_costs) ?(extended = false)
     ?(deadline = Cex_session.Deadline.never)
-    ?(trace = Cex_session.Trace.null) ?(max_configs = 400_000) lalr
+    ?(trace = Cex_session.Trace.null) ?(max_configs = 400_000) ?shared lalr
     ~(conflict : Conflict.t) ~path_states =
   let clock =
     Option.value
@@ -530,10 +575,8 @@ let search ?(costs = default_costs) ?(extended = false)
   let g = Lalr.grammar lalr in
   let on_path = Array.make (Lr0.n_states lr0) false in
   List.iter (fun s -> on_path.(s) <- true) path_states;
-  let kbits =
-    let n = Lr0.n_item_ids lr0 in
-    let rec go b = if 1 lsl b >= n then b else go (b + 1) in
-    go 1
+  let { s_kbits = kbits; s_first_id = first_id } =
+    match shared with Some s -> s | None -> shared_of_lalr lalr
   in
   let ctx =
     { lalr;
@@ -541,9 +584,7 @@ let search ?(costs = default_costs) ?(extended = false)
       analysis = Lalr.analysis lalr;
       lr0;
       kbits;
-      first_id =
-        Array.init (Grammar.n_productions g) (fun p ->
-            Lr0.item_id lr0 (Item.make p 0));
+      first_id;
       costs;
       terminal = conflict.Conflict.terminal;
       on_path;
@@ -571,8 +612,10 @@ let search ?(costs = default_costs) ?(extended = false)
       complete2 = false;
       shifted_conflict = false }
   in
-  let visited = Ktbl.create 4096 in
-  let queue = ref (Pqueue.add Pqueue.empty 0 initial) in
+  let scratch = take_scratch () in
+  let visited = scratch.visited in
+  let queue = scratch.queue in
+  Bucket_queue.add queue 0 initial;
   let explored = ref 0 in
   let pushes = ref 1 in
   let result = ref None in
@@ -582,17 +625,16 @@ let search ?(costs = default_costs) ?(extended = false)
     ref (if Cex_session.Deadline.expired deadline then Some `Timeout else None)
   in
   while Option.is_none !result && Option.is_none !give_up do
-    if Pqueue.is_empty !queue then give_up := Some `Exhausted
+    if Bucket_queue.is_empty queue then give_up := Some `Exhausted
     else if
       !explored land Cex_session.Deadline.poll_mask = 0
       && Cex_session.Deadline.expired deadline
     then give_up := Some `Timeout
     else if !explored > max_configs then give_up := Some `Timeout
     else begin
-      match Pqueue.pop !queue with
+      match Bucket_queue.pop queue with
       | None -> assert false
-      | Some (cost, cfg, rest) ->
-        queue := rest;
+      | Some (cost, cfg) ->
         if not (Ktbl.mem visited cfg) then begin
           Ktbl.add visited cfg ();
           incr explored;
@@ -603,12 +645,13 @@ let search ?(costs = default_costs) ?(extended = false)
               (fun (delta, cfg') ->
                 if not (Ktbl.mem visited cfg') then begin
                   incr pushes;
-                  queue := Pqueue.add !queue (cost + delta) cfg'
+                  Bucket_queue.add queue (cost + delta) cfg'
                 end)
               (successors ctx cfg)
         end
     end
   done;
+  put_scratch scratch;
   Cex_session.Trace.count trace "product_search" "configs_explored" !explored;
   Cex_session.Trace.count trace "product_search" "queue_pushes" !pushes;
   let stats =

@@ -53,12 +53,21 @@ type outcome =
           restriction; with [extended:true] this proves no unifying
           counterexample exists through the conflict items *)
 
+type shared
+(** Automaton-level context shared by every conflict of one grammar: the
+    packed-entry bit layout and the per-production initial-item ids.
+    Immutable; build once per grammar with {!shared_of_lalr} (the driver
+    memoizes one per session) and pass to {!search}. *)
+
+val shared_of_lalr : Lalr.t -> shared
+
 val search :
   ?costs:costs ->
   ?extended:bool ->
   ?deadline:Cex_session.Deadline.t ->
   ?trace:Cex_session.Trace.sink ->
   ?max_configs:int ->
+  ?shared:shared ->
   Lalr.t ->
   conflict:Conflict.t ->
   path_states:int list ->
@@ -71,4 +80,6 @@ val search :
     [max_configs] (default 400k). Emits [configs_explored] and
     [queue_pushes] counters for the ["product_search"] stage into [trace].
     [stats.elapsed] is measured on the deadline's clock (the system
-    monotonic clock for {!Cex_session.Deadline.never}). *)
+    monotonic clock for {!Cex_session.Deadline.never}). [shared] (default:
+    rebuilt per call) must come from {!shared_of_lalr} on the same
+    automaton. *)

@@ -131,6 +131,33 @@ let choose s =
   in
   go 0
 
+(* Word-level views for external fixpoint accumulators (see the .mli):
+   rows of [words ~capacity] ints ORed in place, frozen back to sets. *)
+
+let words ~capacity = max 1 (word_count capacity)
+
+let blit_or s dst off width =
+  let changed = ref false in
+  let n = min (length_words s) width in
+  for w = 0 to n - 1 do
+    let sw = s.bits.(w) in
+    if sw <> 0 then begin
+      let v = dst.(off + w) lor sw in
+      if v <> dst.(off + w) then begin
+        dst.(off + w) <- v;
+        changed := true
+      end
+    end
+  done;
+  !changed
+
+let of_words src off width =
+  let n = ref width in
+  while !n > 0 && src.(off + !n - 1) = 0 do
+    decr n
+  done;
+  if !n = 0 then empty else { bits = Array.sub src off !n }
+
 let hash s =
   let h = ref 0 in
   for w = 0 to length_words s - 1 do

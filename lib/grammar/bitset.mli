@@ -38,6 +38,29 @@ val exists : (int -> bool) -> t -> bool
 val choose : t -> int option
 (** Smallest element, if any. *)
 
+(** {2 Word-level accumulator views}
+
+    Fixpoint engines (the LALR lookahead computation) keep their iteration
+    state as flat [int array] rows of {!words} machine words per set and OR
+    into them in place — no allocation per edge — then freeze each row back
+    to a set with {!of_words}. The word layout matches the internal
+    representation: bit [i] lives in word [i / word_size]. *)
+
+val words : capacity:int -> int
+(** Row width in words for sets over elements [< capacity]. *)
+
+val blit_or : t -> int array -> int -> int -> bool
+(** [blit_or s dst off width] ORs the words of [s] into
+    [dst.(off) .. dst.(off + width - 1)], returning [true] iff any word
+    changed. Elements of [s] at or beyond [width * word_size] are ignored;
+    callers must size rows with {!words} over a capacity no smaller than the
+    sets they accumulate. *)
+
+val of_words : int array -> int -> int -> t
+(** [of_words src off width] is the set whose words are
+    [src.(off) .. src.(off + width - 1)], copied (later mutation of [src] is
+    not observed) and trimmed to canonical form. *)
+
 val hash : t -> int
 val pp : ?name:(int -> string) -> Format.formatter -> t -> unit
 (** Print as [{a, b, c}], mapping elements through [name]. *)

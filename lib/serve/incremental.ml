@@ -7,6 +7,7 @@ module Clock = Cex_session.Clock
 module Deadline = Cex_session.Deadline
 module Trace = Cex_session.Trace
 module Oracle = Cex_validate.Oracle
+module Stats = Cex_service.Stats
 
 type t = {
   scheduler : Scheduler.t;
@@ -121,7 +122,15 @@ let protected_conflict ~options ~deadline session conflict =
 
 (* ------------------------------------------------------------------ *)
 
-let analyze_hot ~options ~jobs t session digest served =
+(* Conflict tasks actually dispatched to the search fan-out: report-cache
+   hits and delta-reused conflicts cost none, so the server's
+   [conflict_tasks] stat is the work the caches and the delta path saved
+   it from. *)
+let note_tasks stats n =
+  match stats with Some st -> Stats.add_conflict_tasks st n | None -> ()
+
+let analyze_hot ~options ~jobs ?stats t session digest served =
+  note_tasks stats (List.length (Session.conflicts session));
   let report = Scheduler.analyze_session ~options ~jobs session in
   Scheduler.store_report t.scheduler digest report;
   (report, digest, served)
@@ -140,7 +149,7 @@ let best_base t next_fp =
       | _ -> best)
     t.scheduler None
 
-let analyze_delta ~options ~jobs t g digest ~base_digest ~base_session
+let analyze_delta ~options ~jobs ?stats t g digest ~base_digest ~base_session
     ~similarity ~diff ~warm =
   let clock = Scheduler.clock t.scheduler in
   let t0 = Clock.now clock in
@@ -203,6 +212,7 @@ let analyze_delta ~options ~jobs t g digest ~base_digest ~base_session
          conflicts)
     |> List.filter_map Fun.id
   in
+  note_tasks stats (List.length fresh_jobs);
   let fresh_crs =
     Scheduler.map ~jobs
       (fun (i, conflict) ->
@@ -242,13 +252,13 @@ let analyze_delta ~options ~jobs t g digest ~base_digest ~base_session
         reused_conflicts = n_reused;
         searched_conflicts = List.length fresh_jobs } )
 
-let analyze_cold ~options ~jobs t g digest =
+let analyze_cold ~options ~jobs ?stats t g digest =
   let clock = Scheduler.clock t.scheduler in
   let session = Session.create ~clock g in
   Scheduler.store_session t.scheduler digest session;
-  analyze_hot ~options ~jobs t session digest Cold
+  analyze_hot ~options ~jobs ?stats t session digest Cold
 
-let analyze t ?options ?jobs ?(incremental = true) g =
+let analyze t ?options ?jobs ?(incremental = true) ?stats g =
   let options =
     Option.value ~default:(Scheduler.options t.scheduler) options
   in
@@ -260,22 +270,22 @@ let analyze t ?options ?jobs ?(incremental = true) g =
     match Scheduler.find_session t.scheduler digest with
     | Some session ->
       Trace.count (Session.trace session) "session" "cache_hits" 1;
-      analyze_hot ~options ~jobs t session digest Session_cache
+      analyze_hot ~options ~jobs ?stats t session digest Session_cache
     | None ->
-      if not incremental then analyze_cold ~options ~jobs t g digest
+      if not incremental then analyze_cold ~options ~jobs ?stats t g digest
       else begin
         let next_fp = fingerprint_of t digest g in
         match best_base t next_fp with
-        | None -> analyze_cold ~options ~jobs t g digest
+        | None -> analyze_cold ~options ~jobs ?stats t g digest
         | Some (base_digest, base_session, base_fp, similarity) ->
           let diff = Delta.diff ~base:base_fp ~next:next_fp in
           if not diff.Delta.compatible then
-            analyze_cold ~options ~jobs t g digest
+            analyze_cold ~options ~jobs ?stats t g digest
           else
             let warm =
               Delta.warm_analysis ~base:(Session.analysis base_session) ~diff
                 g
             in
-            analyze_delta ~options ~jobs t g digest ~base_digest ~base_session
-              ~similarity ~diff ~warm
+            analyze_delta ~options ~jobs ?stats t g digest ~base_digest
+              ~base_session ~similarity ~diff ~warm
       end)

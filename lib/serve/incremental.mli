@@ -60,6 +60,7 @@ val analyze :
   ?options:Cex.Driver.options ->
   ?jobs:int ->
   ?incremental:bool ->
+  ?stats:Cex_service.Stats.t ->
   Cfg.Grammar.t ->
   Cex.Driver.report * string * served
 (** Analyze one grammar, returning the report, its digest and how it was
@@ -68,4 +69,7 @@ val analyze :
     receives a ["delta"] stage (warm-start span plus
     [seeded_nonterminals] / [reused_conflicts] / [searched_conflicts]
     counters) on the delta path, so the reuse ratio is visible in the
-    report's [metrics]. *)
+    report's [metrics]. [stats], when given, records the conflict search
+    tasks actually dispatched — cache hits and delta-reused conflicts cost
+    no task, so the server's [conflict_tasks] counter measures work saved
+    by reuse against the [conflicts] it answered for. *)

@@ -102,7 +102,7 @@ let handle_analyze t (a : Protocol.analyze) =
       Stats.add_grammars t.stats 1;
       let report, digest, served =
         Incremental.analyze t.incr ~options ~jobs:t.jobs
-          ~incremental:a.Protocol.incremental g
+          ~incremental:a.Protocol.incremental ~stats:t.stats g
       in
       Stats.add_conflicts t.stats
         (List.length report.Cex.Driver.conflict_reports);

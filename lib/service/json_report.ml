@@ -93,7 +93,13 @@ let metrics_to_json (m : Cex_session.Trace.metrics) =
                ( "counters",
                  Json.Obj
                    (List.map
-                      (fun (name, n) -> (name, Json.Int n))
+                      (fun (name, n) ->
+                        (* Allocation deltas vary across runs and domains;
+                           rendered as floats so [--zero-floats] normalizes
+                           them with the timings. *)
+                        if name = "alloc_words" then
+                          (name, Json.Float (float_of_int n))
+                        else (name, Json.Int n))
                       metric.Cex_session.Trace.counters) ) ] ))
        m)
 
@@ -162,6 +168,7 @@ let stats_to_json (s : Stats.summary) =
     [ ("jobs", Json.Int s.Stats.jobs);
       ("grammars", Json.Int s.Stats.grammars);
       ("conflicts", Json.Int s.Stats.conflicts);
+      ("conflict_tasks", Json.Int s.Stats.conflict_tasks);
       ("wall_seconds", Json.Float s.Stats.wall_seconds);
       ("max_queue_depth", Json.Int s.Stats.max_queue_depth);
       ( "stages",

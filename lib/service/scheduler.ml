@@ -3,44 +3,19 @@ module Clock = Cex_session.Clock
 module Deadline = Cex_session.Deadline
 module Trace = Cex_session.Trace
 
-let default_jobs () = Domain.recommended_domain_count ()
+let default_jobs () = Cex_session.Pool.default_jobs ()
 
 (* ------------------------------------------------------------------ *)
-(* Worker pool: an atomic next-job index over a fixed array of jobs. *)
+(* Worker pool: the shared domain pool, with queue depths recorded into the
+   run's stats. *)
 
 let run_pool ?stats ~jobs n (f : int -> 'a) : 'a array =
-  if n = 0 then [||]
-  else begin
-    let jobs = max 1 (min jobs n) in
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let failure = Atomic.make None in
-    let worker () =
-      let rec go () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n && Atomic.get failure = None then begin
-          (match stats with
-          | Some st -> Stats.note_queue_depth st (n - i - 1)
-          | None -> ());
-          (match f i with
-          | v -> results.(i) <- Some v
-          | exception e ->
-            let bt = Printexc.get_raw_backtrace () in
-            Atomic.compare_and_set failure None (Some (e, bt)) |> ignore);
-          go ()
-        end
-      in
-      go ()
-    in
-    (match stats with Some st -> Stats.note_queue_depth st n | None -> ());
-    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join helpers;
-    (match Atomic.get failure with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> ());
-    Array.map Option.get results
-  end
+  let on_dequeue =
+    match stats with
+    | Some st -> Some (fun depth -> Stats.note_queue_depth st depth)
+    | None -> None
+  in
+  Cex_session.Pool.run ?on_dequeue ~jobs n f
 
 let map ?(jobs = default_jobs ()) f xs =
   let arr = Array.of_list xs in
@@ -64,28 +39,24 @@ let protected_conflict ~options ~deadline session conflict =
 
 let analyze_session ?(options = Cex.Driver.default_options)
     ?(jobs = default_jobs ()) ?stats session =
-  let clock = Session.clock session in
-  let started = Clock.now clock in
-  let conflicts = Array.of_list (Session.conflicts session) in
-  (* One mutex-guarded consumed-work budget shared by every worker: the
-     driver clamps each per-conflict deadline to it and consumes the
-     conflict's elapsed time afterwards (see scheduler.mli). *)
-  let deadline =
-    Deadline.budget clock options.Cex.Driver.cumulative_timeout
-  in
-  let crs =
-    run_pool ?stats ~jobs (Array.length conflicts) (fun i ->
-        protected_conflict ~options ~deadline session conflicts.(i))
-  in
+  let n = List.length (Session.conflicts session) in
+  (* The conflict-level fan-out itself (shared budget, per-task crash
+     conversion, deterministic report order, per-task trace merging) lives
+     in [Driver.analyze_session]; this wrapper only records the service
+     stats around it. *)
   (match stats with
   | Some st ->
-    Stats.add_conflicts st (Array.length conflicts);
-    Stats.add_stage st "conflict_search" (search_seconds crs)
+    Stats.note_queue_depth st n;
+    Stats.add_conflicts st n;
+    Stats.add_conflict_tasks st n
   | None -> ());
-  { Cex.Driver.table = Session.table session;
-    conflict_reports = Array.to_list crs;
-    total_elapsed = Clock.now clock -. started;
-    metrics = Session.metrics session }
+  let report = Cex.Driver.analyze_session ~options ~jobs session in
+  (match stats with
+  | Some st ->
+    Stats.add_stage st "conflict_search"
+      (search_seconds (Array.of_list report.Cex.Driver.conflict_reports))
+  | None -> ());
+  report
 
 (* ------------------------------------------------------------------ *)
 (* The batch service. *)
@@ -197,6 +168,7 @@ let analyze_batch t entries =
           f.conflicts
       | Cached _ | Duplicate _ -> ())
     prepared;
+  Stats.add_conflict_tasks stats (Array.length job_table);
   let crs =
     run_pool ~stats ~jobs:t.jobs (Array.length job_table) (fun i ->
         let f, conflict = Option.get job_table.(i) in

@@ -35,12 +35,13 @@ val analyze_session :
   ?stats:Stats.t ->
   Cex_session.Session.t ->
   Cex.Driver.report
-(** Drop-in parallel replacement for {!Cex.Driver.analyze_session}:
-    conflict reports come back in the session's conflict order regardless
-    of worker interleaving. A conflict whose search raises is converted
-    into a {!Cex.Driver.Search_crashed} report (exception and backtrace in
-    its [failure] field) rather than aborting the pool, so every other
-    conflict's result survives. *)
+(** {!Cex.Driver.analyze_session} with the service defaults ([jobs]
+    defaults to the whole machine) plus stats recording: conflict and
+    conflict-task counts, queue depth, and a ["conflict_search"] stage with
+    the summed per-conflict elapsed time. The fan-out itself — shared
+    budget, deterministic report order, per-task crash conversion into
+    {!Cex.Driver.Search_crashed} reports, per-task trace merging — is the
+    driver's. *)
 
 (** {1 The batch service} *)
 

@@ -2,6 +2,7 @@ type summary = {
   jobs : int;
   grammars : int;
   conflicts : int;
+  conflict_tasks : int;
   wall_seconds : float;
   max_queue_depth : int;
   stages : (string * float) list;
@@ -17,6 +18,7 @@ type t = {
   jobs : int;
   mutable grammars : int;
   mutable conflicts : int;
+  mutable conflict_tasks : int;
   mutable max_queue_depth : int;
   stages : (string, float ref) Hashtbl.t;
 }
@@ -28,6 +30,7 @@ let create ?(clock = Cex_session.Clock.system) ~jobs () =
     jobs;
     grammars = 0;
     conflicts = 0;
+    conflict_tasks = 0;
     max_queue_depth = 0;
     stages = Hashtbl.create 8 }
 
@@ -44,6 +47,9 @@ let add_stage t name seconds =
 let add_grammars t n = with_lock t (fun () -> t.grammars <- t.grammars + n)
 let add_conflicts t n = with_lock t (fun () -> t.conflicts <- t.conflicts + n)
 
+let add_conflict_tasks t n =
+  with_lock t (fun () -> t.conflict_tasks <- t.conflict_tasks + n)
+
 let note_queue_depth t depth =
   with_lock t (fun () ->
       if depth > t.max_queue_depth then t.max_queue_depth <- depth)
@@ -53,6 +59,7 @@ let finish ?session_cache ?(session_shards = []) ?report_cache t =
       { jobs = t.jobs;
         grammars = t.grammars;
         conflicts = t.conflicts;
+        conflict_tasks = t.conflict_tasks;
         wall_seconds = Cex_session.Clock.now t.clock -. t.started;
         max_queue_depth = t.max_queue_depth;
         stages =
@@ -64,9 +71,10 @@ let finish ?session_cache ?(session_shards = []) ?report_cache t =
 
 let pp_summary ppf (s : summary) =
   Fmt.pf ppf
-    "@[<v>jobs: %d; grammars: %d; conflicts: %d; wall: %.3fs; max queue \
-     depth: %d"
-    s.jobs s.grammars s.conflicts s.wall_seconds s.max_queue_depth;
+    "@[<v>jobs: %d; grammars: %d; conflicts: %d; conflict tasks: %d; wall: \
+     %.3fs; max queue depth: %d"
+    s.jobs s.grammars s.conflicts s.conflict_tasks s.wall_seconds
+    s.max_queue_depth;
   List.iter
     (fun (name, secs) -> Fmt.pf ppf "@,stage %-16s %.3fs" name secs)
     s.stages;

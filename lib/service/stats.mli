@@ -10,6 +10,10 @@ type summary = {
   jobs : int;  (** worker domains used *)
   grammars : int;
   conflicts : int;
+  conflict_tasks : int;
+      (** conflict-level work items dispatched to the domain pool — the
+          two-level scheduler's unit of work (one per conflict of every
+          freshly analyzed grammar; cached reports dispatch none) *)
   wall_seconds : float;  (** creation to {!finish} *)
   max_queue_depth : int;  (** largest pending-job backlog observed *)
   stages : (string * float) list;
@@ -31,6 +35,7 @@ val add_stage : t -> string -> float -> unit
 
 val add_grammars : t -> int -> unit
 val add_conflicts : t -> int -> unit
+val add_conflict_tasks : t -> int -> unit
 
 val note_queue_depth : t -> int -> unit
 (** Record an observed backlog; the summary keeps the maximum. *)

@@ -15,6 +15,17 @@ open Automaton
 
 type t
 
+(** Typed keys into the session's universal store of lazily-memoized search
+    structures. Client modules (the driver, the searches) mint a key once at
+    module initialization and use {!shared} to install/retrieve per-session
+    values, so the session stays ignorant of their types. *)
+module Store : sig
+  type 'a key
+
+  val key : unit -> 'a key
+  (** Mint a fresh key. Two keys never alias, even at the same type. *)
+end
+
 val create :
   ?clock:Clock.t -> ?trace:Trace.sink -> ?analysis:Cfg.Analysis.t ->
   Cfg.Grammar.t -> t
@@ -26,8 +37,8 @@ val create :
     which case {!metrics} is empty). *)
 
 val of_table : ?clock:Clock.t -> ?trace:Trace.sink -> Parse_table.t -> t
-(** Wrap an already-built table (tests and tools); classifies conflicts but
-    emits no build span. *)
+(** Wrap an already-built table (tests and tools); classifies conflicts
+    (emitting the same ["classify"] span as {!create}) but no build span. *)
 
 val grammar : t -> Cfg.Grammar.t
 val analysis : t -> Cfg.Analysis.t
@@ -46,6 +57,37 @@ val classification : t -> Conflict.t -> string
 
 val clock : t -> Clock.t
 val trace : t -> Trace.sink
+
+(** {1 Cross-conflict work sharing}
+
+    All of the automaton-level structures below depend only on the session's
+    immutable artifacts, so they are memoized on the session (mutex-guarded,
+    first writer wins, immutable once installed) and shared by every conflict
+    analyzed through it — sequentially or across domains. *)
+
+val backward_reach : t -> state:int -> item_id:int -> int -> int -> bool
+(** Memoized {!Automaton.Lr0.backward_reach}: the returned predicate tests
+    whether a [(state, item id)] vertex can reach the target. One bitmap per
+    distinct [(state, item_id)] target per session; conflicts on the same
+    reduce item share it. *)
+
+val shared : t -> 'a Store.key -> (unit -> 'a) -> 'a
+(** [shared t key make]: the value installed under [key], forcing [make]
+    under the session lock on first use. [make] must be cheap (allocate an
+    empty table or a small record); expensive computation belongs outside,
+    guarded by its own finer-grained locking. *)
+
+(** {1 Metrics} *)
+
+val has_private_collector : t -> bool
+(** True when the session aggregates into its own private collector (no
+    external [trace] sink was injected at construction). The parallel driver
+    only buffers per-task metrics when this holds; with an external sink,
+    tasks emit into it directly. *)
+
+val absorb_metrics : t -> Trace.metrics -> unit
+(** Merge a per-task metrics snapshot into the session's private collector.
+    With an external sink, falls back to replaying only the counters. *)
 
 val metrics : t -> Trace.metrics
 (** Snapshot of the session's private collector (empty when an external

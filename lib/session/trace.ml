@@ -22,6 +22,15 @@ let timed sink clock stage f =
   span sink stage (Clock.now clock -. t0);
   r
 
+let timed_alloc sink clock stage f =
+  let t0 = Clock.now clock in
+  let w0 = Gc.minor_words () in
+  let r = f () in
+  let words = Gc.minor_words () -. w0 in
+  span sink stage (Clock.now clock -. t0);
+  count sink stage "alloc_words" (int_of_float words);
+  r
+
 (* ------------------------------------------------------------------ *)
 
 type entry = {
@@ -65,6 +74,27 @@ let collector_sink c =
             match Hashtbl.find_opt e.acc_counters counter with
             | Some r -> r := !r + n
             | None -> Hashtbl.add e.acc_counters counter (ref n))) }
+
+let absorb c (m : metrics) =
+  with_lock c (fun () ->
+      List.iter
+        (fun (stage, metric) ->
+          let e = entry_of c stage in
+          e.acc_seconds <- e.acc_seconds +. metric.seconds;
+          e.acc_spans <- e.acc_spans + metric.spans;
+          List.iter
+            (fun (name, n) ->
+              match Hashtbl.find_opt e.acc_counters name with
+              | Some r -> r := !r + n
+              | None -> Hashtbl.add e.acc_counters name (ref n))
+            metric.counters)
+        m)
+
+let replay_counters sink (m : metrics) =
+  List.iter
+    (fun (stage, metric) ->
+      List.iter (fun (name, n) -> count sink stage name n) metric.counters)
+    m
 
 let metrics c =
   with_lock c (fun () ->

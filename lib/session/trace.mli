@@ -39,6 +39,12 @@ val count : sink -> string -> string -> int -> unit
 val timed : sink -> Clock.t -> string -> (unit -> 'a) -> 'a
 (** Run a thunk and emit its duration as a span. *)
 
+val timed_alloc : sink -> Clock.t -> string -> (unit -> 'a) -> 'a
+(** Like {!timed}, but additionally emits an ["alloc_words"] counter with
+    the [Gc.minor_words] delta across the thunk — the measure the arena
+    work in the searches is judged by. Reports render this counter as a
+    float so [--zero-floats] normalizes it away alongside the timings. *)
+
 (** {1 The accumulating collector} *)
 
 type collector
@@ -48,6 +54,18 @@ val collector_sink : collector -> sink
 
 val metrics : collector -> metrics
 (** Snapshot; safe to call while domains are still emitting. *)
+
+val absorb : collector -> metrics -> unit
+(** Merge a metrics snapshot into the collector: add seconds, spans, and
+    counters stage by stage. Worker domains buffer into a local collector
+    and absorb the result once, instead of contending on the shared lock
+    from inside search loops. *)
+
+val replay_counters : sink -> metrics -> unit
+(** Re-emit only the counters of a snapshot into a sink (no spans). Used
+    when memoized search work is installed in a session: the domain that
+    computed the result replays its counters so totals stay deterministic
+    regardless of which domain won the race. *)
 
 val pp_metrics : Format.formatter -> metrics -> unit
 (** Text rendering for [--trace]: one line per stage. *)

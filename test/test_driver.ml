@@ -91,6 +91,98 @@ let test_cumulative_clamp () =
     (Printf.sprintf "no overshoot (wall %.2fs)" wall)
     true (wall < 10.0)
 
+(* ------------------------------------------------------------------ *)
+(* Conflict-level fan-out: determinism and deadline behavior. *)
+
+let zeroed_report name r =
+  Cex_service.Json.to_string
+    (Cex_service.Json.map_floats (fun _ -> 0.0)
+       (Cex_service.Json_report.report_to_json ~name r))
+
+(* stackovf10 has 20 conflicts, the widest fan-out in the corpus, with
+   several conflicts sharing an LR state (so the path memo actually gets
+   hits). The full JSON report — outcomes, counterexamples, report order,
+   and every trace counter — must be byte-identical at [jobs = 1] and
+   [jobs = 4] once timings are zeroed: the memoized path search emits its
+   span and counters exactly once per distinct (state, item, terminal) key
+   no matter which domain wins the install race. *)
+let test_jobs_deterministic () =
+  let g = Corpus.grammar (Corpus.find "stackovf10") in
+  let run jobs =
+    let session = Cex_session.Session.create g in
+    zeroed_report "stackovf10" (Cex.Driver.analyze_session ~jobs session)
+  in
+  Alcotest.(check string) "jobs 1 = jobs 4 (zero-floated)" (run 1) (run 4)
+
+(* A budget that is already expired when the fan-out starts: every task —
+   including the ones a parallel pool never got to dequeue — must classify
+   as [Skipped_search], independent of worker interleaving. The fake clock
+   never advances, so this takes no wall time and cannot flake. *)
+let test_expired_deadline_fanout () =
+  let clock, _fake = Cex_session.Clock.fake ~start:100.0 () in
+  let options =
+    { Cex.Driver.default_options with Cex.Driver.cumulative_timeout = 0.0 }
+  in
+  let g = Corpus.grammar (Corpus.find "figure1") in
+  let session = Cex_session.Session.create ~clock g in
+  let r = Cex.Driver.analyze_session ~options ~jobs:4 session in
+  Alcotest.(check (list bool))
+    "all skipped at jobs 4"
+    [ true; true; true ]
+    (List.map (fun o -> o = Cex.Driver.Skipped_search) (outcomes r));
+  Alcotest.(check bool) "nonunifying fallback attached" true
+    (has_counterexamples r)
+
+(* A budget that expires mid-run, on a fake clock (no real sleeps): every
+   [Clock.now] advances time by 10 s against a 5 s cumulative budget, so the
+   first conflict's search finds its per-conflict deadline already past on
+   entry ([Search_timeout]) and drains the whole budget; the remaining
+   conflicts see an exhausted budget and skip. *)
+let test_budget_expires_mid_run () =
+  let clock, _fake =
+    Cex_session.Clock.fake ~start:0.0 ~auto_advance:10.0 ()
+  in
+  let options =
+    { Cex.Driver.default_options with Cex.Driver.cumulative_timeout = 5.0 }
+  in
+  let g = Corpus.grammar (Corpus.find "figure1") in
+  let session = Cex_session.Session.create ~clock g in
+  let r = Cex.Driver.analyze_session ~options session in
+  Alcotest.(check (list string))
+    "timeout, then skips"
+    [ "search_timeout"; "skipped_search"; "skipped_search" ]
+    (List.map Cex_service.Json_report.outcome_string (outcomes r));
+  Alcotest.(check bool) "nonunifying fallback attached" true
+    (has_counterexamples r)
+
+(* Re-analyzing the same session must reuse the memoized path searches (no
+   new path_search spans) and reproduce the same conflict reports — the
+   serve layer depends on this when it re-analyzes a cached session. *)
+let test_memo_warm_reanalysis () =
+  let stage_spans m stage =
+    match List.assoc_opt stage m with
+    | Some metric -> metric.Cex_session.Trace.spans
+    | None -> 0
+  in
+  let g = Corpus.grammar (Corpus.find "figure1") in
+  let session = Cex_session.Session.create g in
+  let zeroed r =
+    List.map
+      (fun cr ->
+        Cex_service.Json.to_string
+          (Cex_service.Json.map_floats (fun _ -> 0.0)
+             (Cex_service.Json_report.conflict_to_json g cr)))
+      r.Cex.Driver.conflict_reports
+  in
+  let r1 = Cex.Driver.analyze_session session in
+  let paths1 = stage_spans (Cex_session.Session.metrics session) "path_search" in
+  let r2 = Cex.Driver.analyze_session ~jobs:4 session in
+  let paths2 = stage_spans (Cex_session.Session.metrics session) "path_search" in
+  Alcotest.(check bool) "first run searched paths" true (paths1 > 0);
+  Alcotest.(check int) "second run is all memo hits" paths1 paths2;
+  Alcotest.(check (list string))
+    "identical conflict reports (zero-floated)" (zeroed r1) (zeroed r2)
+
 (* Grammar with no conflicts: an empty, instant report. *)
 let test_no_conflicts () =
   let g = Spec_parser.grammar_of_string_exn "s : A s B | C ;" in
@@ -106,4 +198,11 @@ let suite =
       Alcotest.test_case "search-timeout" `Quick test_search_timeout;
       Alcotest.test_case "skipped-search" `Quick test_skipped_search;
       Alcotest.test_case "cumulative-clamp" `Slow test_cumulative_clamp;
+      Alcotest.test_case "jobs-deterministic" `Quick test_jobs_deterministic;
+      Alcotest.test_case "expired-deadline-fanout" `Quick
+        test_expired_deadline_fanout;
+      Alcotest.test_case "budget-expires-mid-run" `Quick
+        test_budget_expires_mid_run;
+      Alcotest.test_case "memo-warm-reanalysis" `Quick
+        test_memo_warm_reanalysis;
       Alcotest.test_case "no-conflicts" `Quick test_no_conflicts ] )

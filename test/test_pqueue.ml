@@ -59,10 +59,43 @@ let prop_heap_sort =
       let drained = List.map fst (drain q) in
       drained = List.sort Int.compare priorities)
 
+(* The searches moved from the persistent Pqueue to the mutable
+   Bucket_queue, whose observable contract is "identical pop order". The
+   equivalence golden pins that for real searches; this property pins it
+   for arbitrary interleavings of adds and pops. An operation [Some p]
+   adds (p, serial number); [None] pops from both queues and demands the
+   same (priority, value) pair. *)
+let prop_bucket_matches_pqueue =
+  QCheck.Test.make
+    ~name:"bucket queue pops in the same order as pqueue" ~count:300
+    QCheck.(small_list (option (int_bound 40)))
+    (fun ops ->
+      let bq = Cex.Bucket_queue.create () in
+      let pq = ref Cex.Pqueue.empty in
+      let serial = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some p ->
+            incr serial;
+            Cex.Bucket_queue.add bq p !serial;
+            pq := Cex.Pqueue.add !pq p !serial;
+            true
+          | None -> (
+            match (Cex.Bucket_queue.pop bq, Cex.Pqueue.pop !pq) with
+            | None, None -> true
+            | Some (bp, bv), Some (pp, pv, pq') ->
+              pq := pq';
+              bp = pp && bv = pv
+            | _ -> false))
+        ops
+      && Cex.Bucket_queue.size bq = Cex.Pqueue.size !pq)
+
 let suite =
   ( "pqueue",
     [ Alcotest.test_case "ordering" `Quick test_ordering;
       Alcotest.test_case "fifo ties" `Quick test_fifo_ties;
       Alcotest.test_case "persistence" `Quick test_persistence;
       Alcotest.test_case "size" `Quick test_size;
-      QCheck_alcotest.to_alcotest prop_heap_sort ] )
+      QCheck_alcotest.to_alcotest prop_heap_sort;
+      QCheck_alcotest.to_alcotest prop_bucket_matches_pqueue ] )

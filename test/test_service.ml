@@ -232,6 +232,7 @@ let golden =
     "jobs": 1,
     "grammars": 1,
     "conflicts": 1,
+    "conflict_tasks": 1,
     "wall_seconds": 0.0,
     "max_queue_depth": 1,
     "stages": {
@@ -282,6 +283,7 @@ let golden =
           "seconds": 0.0,
           "spans": 1,
           "counters": {
+            "alloc_words": 0.0,
             "pops": 33,
             "relaxations": 33
           }
@@ -290,6 +292,7 @@ let golden =
           "seconds": 0.0,
           "spans": 1,
           "counters": {
+            "alloc_words": 0.0,
             "configs_explored": 135,
             "queue_pushes": 255
           }
