@@ -12,11 +12,12 @@ let load_grammar path =
   | exception Sys_error msg -> Error msg
   | source -> Cfg.Spec_parser.grammar_of_string source
 
-let make_options timeout cumulative extended =
+let make_options timeout cumulative extended engine =
   { Cex.Driver.default_options with
     Cex.Driver.per_conflict_timeout = timeout;
     cumulative_timeout = cumulative;
-    extended }
+    extended;
+    engine }
 
 (* ------------------------------------------------------------------ *)
 (* The one-grammar command (the original behavior, plus --jobs/--json). *)
@@ -47,14 +48,15 @@ let pp_trace_section ppf metrics =
   if metrics <> [] then
     Fmt.pf ppf "@.[trace]@.%a" Cex_session.Trace.pp_metrics metrics
 
-let run path timeout cumulative extended jobs conflict_jobs json trace lint
-    lint_error validate show_states show_naive classify_lr1 show_resolved =
+let run path timeout cumulative extended engine jobs conflict_jobs json trace
+    lint lint_error validate show_states show_naive classify_lr1
+    show_resolved =
   match load_grammar path with
   | Error msg ->
     Fmt.epr "error: %s@." msg;
     1
   | Ok g ->
-    let options = make_options timeout cumulative extended in
+    let options = make_options timeout cumulative extended engine in
     let session = Cex_session.Session.create g in
     let table = Cex_session.Session.table session in
     let diagnostics =
@@ -189,8 +191,8 @@ let validate_batch_result (r : Cex_service.Scheduler.batch_result) =
       Cex_validate.Oracle.validate_report oracle
         r.Cex_service.Scheduler.report }
 
-let run_batch paths use_corpus timeout cumulative extended jobs json trace
-    lint lint_error validate cache_size repeat =
+let run_batch paths use_corpus timeout cumulative extended engine jobs json
+    trace lint lint_error validate cache_size repeat =
   match load_batch_entries paths use_corpus with
   | Error msg ->
     Fmt.epr "error: %s@." msg;
@@ -199,7 +201,7 @@ let run_batch paths use_corpus timeout cumulative extended jobs json trace
     Fmt.epr "error: no grammars to analyze (pass files or --corpus)@.";
     1
   | Ok entries ->
-    let options = make_options timeout cumulative extended in
+    let options = make_options timeout cumulative extended engine in
     let service =
       Cex_service.Scheduler.create ~options ~jobs ~cache_capacity:cache_size ()
     in
@@ -292,7 +294,8 @@ let run_batch paths use_corpus timeout cumulative extended jobs json trace
    when conflicts exist — its verdict is about the counterexamples, not the
    grammar — and 4 as soon as one fails the oracle (the CI hard gate). *)
 
-let run_validate paths use_corpus timeout cumulative extended jobs json =
+let run_validate paths use_corpus timeout cumulative extended engine jobs json
+    =
   match load_batch_entries paths use_corpus with
   | Error msg ->
     Fmt.epr "error: %s@." msg;
@@ -301,7 +304,7 @@ let run_validate paths use_corpus timeout cumulative extended jobs json =
     Fmt.epr "error: no grammars to validate (pass files or --corpus)@.";
     1
   | Ok entries ->
-    let options = make_options timeout cumulative extended in
+    let options = make_options timeout cumulative extended engine in
     let service = Cex_service.Scheduler.create ~options ~jobs () in
     let results, stats = Cex_service.Scheduler.analyze_batch service entries in
     let results = List.map validate_batch_result results in
@@ -444,14 +447,14 @@ let parse_endpoint socket tcp =
   | Some _, Some _ -> Error "--socket and --tcp are mutually exclusive"
   | None, None -> Error "one of --socket PATH or --tcp HOST:PORT is required"
 
-let run_serve socket tcp timeout cumulative extended jobs cache_size
+let run_serve socket tcp timeout cumulative extended engine jobs cache_size
     cache_shards queue_limit =
   match parse_endpoint socket tcp with
   | Error msg ->
     Fmt.epr "error: %s@." msg;
     1
   | Ok endpoint -> (
-    let options = make_options timeout cumulative extended in
+    let options = make_options timeout cumulative extended engine in
     let server =
       Cex_serve.Server.create ~options ~jobs ~cache_capacity:cache_size
         ~cache_shards ~queue_limit ()
@@ -564,6 +567,22 @@ let extended_arg =
     & info [ "extended-search" ]
         ~doc:"Lift the shortest-path restriction (slower, more complete).")
 
+let engine_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("product", Cex.Driver.Product);
+             ("srwalk", Cex.Driver.Srwalk);
+             ("race", Cex.Driver.Race) ])
+        Cex.Driver.Product
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:"Unifying-counterexample engine: $(b,product) (the paper's \
+              product-parser search), $(b,srwalk) (the SR-automaton walk), \
+              or $(b,race) (run both per conflict on the worker pool under \
+              one budget and keep the deterministically adjudicated winner; \
+              each JSON conflict records the winning engine).")
+
 let jobs_arg =
   Arg.(
     value & opt int 1
@@ -651,7 +670,8 @@ let analyze_term =
   in
   Term.(
     const run $ path_arg $ timeout_arg $ cumulative_arg $ extended_arg
-    $ jobs_arg $ conflict_jobs_arg $ json_arg $ trace_arg $ lint_arg
+    $ engine_arg $ jobs_arg $ conflict_jobs_arg $ json_arg $ trace_arg
+    $ lint_arg
     $ lint_error_arg $ validate_arg $ states_arg $ naive_arg $ lr1_arg
     $ resolved_arg)
 
@@ -694,7 +714,7 @@ let batch_cmd =
     (Cmd.info "batch" ~doc)
     Term.(
       const run_batch $ paths_arg $ corpus_arg $ timeout_arg $ cumulative_arg
-      $ extended_arg $ jobs_arg $ json_arg $ trace_arg $ lint_arg
+      $ extended_arg $ engine_arg $ jobs_arg $ json_arg $ trace_arg $ lint_arg
       $ lint_error_arg $ validate_arg $ cache_arg $ repeat_arg)
 
 let validate_cmd =
@@ -720,7 +740,7 @@ let validate_cmd =
     (Cmd.info "validate" ~doc)
     Term.(
       const run_validate $ paths_arg $ corpus_arg $ timeout_arg
-      $ cumulative_arg $ extended_arg $ jobs_arg $ json_arg)
+      $ cumulative_arg $ extended_arg $ engine_arg $ jobs_arg $ json_arg)
 
 let lint_cmd =
   let paths_arg =
@@ -806,7 +826,8 @@ let serve_cmd =
     (Cmd.info "serve" ~doc)
     Term.(
       const run_serve $ socket_arg $ tcp_arg $ timeout_arg $ cumulative_arg
-      $ extended_arg $ jobs_arg $ cache_arg $ shards_arg $ queue_arg)
+      $ extended_arg $ engine_arg $ jobs_arg $ cache_arg $ shards_arg
+      $ queue_arg)
 
 let client_cmd =
   let script_arg =

@@ -345,6 +345,53 @@ let backward_reach a ~state:target_state ~item_id:target_id =
   done;
   reach
 
+(* Forward reachability over the same packed (state, item) vertex space:
+   which vertices does the start item reach via forward transitions (advance
+   the dot into the successor state) and closure steps (expand the
+   nonterminal after the dot into its productions' initial items)? This is
+   the SR-automaton's reachable region; the srwalk engine and the
+   [sr-unreachable-conflict] lint both query it, so it lives here beside
+   [backward_reach] and shares its bitmap layout and [reach_mem]. *)
+let forward_reach a =
+  let n_ids = a.n_item_ids in
+  let reach = Bytes.make ((n_states a * n_ids + 7) lsr 3) '\000' in
+  let mem key =
+    Char.code (Bytes.unsafe_get reach (key lsr 3)) land (1 lsl (key land 7))
+    <> 0
+  in
+  let set key =
+    Bytes.unsafe_set reach (key lsr 3)
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get reach (key lsr 3))
+         lor (1 lsl (key land 7))))
+  in
+  let queue = Queue.create () in
+  let visit state id =
+    let key = (state * n_ids) + id in
+    if not (mem key) then begin
+      set key;
+      Queue.add key queue
+    end
+  in
+  visit start_state a.offsets.(0);
+  while not (Queue.is_empty queue) do
+    let key = Queue.pop queue in
+    let state = key / n_ids and id = key mod n_ids in
+    match a.id_next.(id) with
+    | None -> ()
+    | Some sym ->
+      (match transition a state sym with
+      | Some target -> visit target (id + 1)
+      | None -> ());
+      (match sym with
+      | Symbol.Nonterminal nt ->
+        List.iter
+          (fun p -> visit state a.offsets.(p))
+          (Grammar.productions_of a.grammar nt)
+      | Symbol.Terminal _ -> ())
+  done;
+  reach
+
 let reach_mem a reach state id =
   let key = (state * a.n_item_ids) + id in
   Char.code (Bytes.unsafe_get reach (key lsr 3)) land (1 lsl (key land 7)) <> 0

@@ -92,9 +92,17 @@ val backward_reach : t -> state:int -> item_id:int -> Bytes.t
     side)? Depends only on the automaton, so the bitmap is shareable across
     every conflict on the same reduce item; query it with {!reach_mem}. *)
 
+val forward_reach : t -> Bytes.t
+(** Bitmap over the same packed [(state, item id)] vertices: which vertices
+    does the start item reach via forward transitions (advance the dot into
+    the successor state) and closure steps (expand the nonterminal after the
+    dot into its productions' initial items)? This is the SR-automaton's
+    reachable region — the srwalk engine and the [sr-unreachable-conflict]
+    lint rule both query it. Query with {!reach_mem}. *)
+
 val reach_mem : t -> Bytes.t -> int -> int -> bool
 (** [reach_mem a reach state id]: membership test against a
-    {!backward_reach} bitmap. *)
+    {!backward_reach} or {!forward_reach} bitmap. *)
 
 val kernel_items : t -> int -> Item.t list
 (** Items with the dot not at the start, plus the start item in state 0. *)

@@ -652,8 +652,8 @@ let search ?(costs = default_costs) ?(extended = false)
     end
   done;
   put_scratch scratch;
-  Cex_session.Trace.count trace "product_search" "configs_explored" !explored;
-  Cex_session.Trace.count trace "product_search" "queue_pushes" !pushes;
+  Cex_session.Trace.count trace "search" "configs_explored" !explored;
+  Cex_session.Trace.count trace "search" "queue_pushes" !pushes;
   let stats =
     { configs_explored = !explored;
       elapsed = Cex_session.Clock.now clock -. started }

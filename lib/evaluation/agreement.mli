@@ -1,0 +1,24 @@
+(** Corpus-wide product-vs-srwalk agreement check.
+
+    Decides every conflict of every corpus grammar with both engines under
+    one configuration budget and no wall-clock deadline, so the run is
+    fully deterministic. The engines share move semantics and exploration
+    order by construction, so a differing outcome category, or a srwalk
+    ambiguity witness the validation oracle rejects, is reported as a
+    problem — the CI agreement gate ([tools/agreement.exe]) and
+    [test/test_srwalk.ml] both fail on any. *)
+
+type summary = {
+  grammars : int;
+  conflicts : int;
+  pathless : int;  (** conflicts with no lookahead-sensitive path *)
+  unifying : int;  (** conflicts both engines decided Ambiguous/Unifying *)
+  exhausted : int;
+  capped : int;  (** conflicts where both engines hit the budget *)
+  problems : string list;  (** empty = full agreement, all witnesses valid *)
+}
+
+val default_max_configs : int
+
+val run : ?max_configs:int -> unit -> summary
+val pp_summary : Format.formatter -> summary -> unit

@@ -220,3 +220,4 @@ let pp_scalability ppf series =
 
 module Equivalence = Equivalence
 module Lint_summary = Lint_summary
+module Agreement = Agreement

@@ -74,3 +74,6 @@ module Equivalence : module type of Equivalence
 
 (** Corpus-wide lint summary (see {!Lint_summary}). *)
 module Lint_summary : module type of Lint_summary
+
+(** Corpus-wide product-vs-srwalk agreement check (see {!Agreement}). *)
+module Agreement : module type of Agreement

@@ -18,6 +18,11 @@ type context = {
   grammar : Grammar.t;
   analysis : Analysis.t;
   lalr : Lalr.t;
+  lr0 : Lr0.t;
+  sr_region : Bytes.t Lazy.t;
+      (* the SR-automaton's forward-reachable (state, item) region; forced
+         only by the sr-unreachable-conflict rule, and only on grammars
+         that have conflicts *)
   conflicts : Conflict.t list;
   resolved : (Conflict.t * Parse_table.resolution) list;
   classifications : (Conflict.t * string) list;
@@ -410,6 +415,59 @@ let check_unclassified ctx =
          else "reduce/reduce"))
     (classified_conflicts ctx unclassified)
 
+let sr_unreachable_conflict_code = "sr-unreachable-conflict"
+
+(* A conflict both search engines can reason about must sit inside the
+   SR-automaton's forward-reachable region: the start item reaches every
+   item of every state of a well-formed table, so a hit here means the
+   table (or a hand-built variant of it) is defective — the conflict can
+   never actually arise in a parse, and any counterexample search for it
+   explores a dead region. *)
+let check_sr_unreachable_conflict ctx =
+  let g = ctx.grammar in
+  List.filter_map
+    (fun (c : Conflict.t) ->
+      let region = Lazy.force ctx.sr_region in
+      let reaches item =
+        Lr0.reach_mem ctx.lr0 region c.Conflict.state
+          (Lr0.item_id ctx.lr0 item)
+      in
+      if reaches (Conflict.reduce_item c) && reaches (Conflict.other_item c)
+      then None
+      else
+        Some
+          (diag sr_unreachable_conflict_code Diagnostic.Warning
+             (conflict_location c)
+             "conflict on %s is outside the SR-automaton's reachable region: \
+              no walk from the start item reaches its items, so the parser \
+              can never be driven into this conflict"
+             (Grammar.terminal_name g c.Conflict.terminal)))
+    ctx.conflicts
+
+let conflict_density_code = "conflict-density"
+
+(* One grammar-wide advisory summarizing how concentrated the conflicts
+   are: a handful of hot states usually traces back to one ambiguous
+   construct, while conflicts smeared over many states suggest a structural
+   problem (e.g. a missing precedence scheme). *)
+let check_conflict_density ctx =
+  match ctx.conflicts with
+  | [] -> []
+  | conflicts ->
+    let n = List.length conflicts in
+    let states =
+      List.sort_uniq compare
+        (List.map (fun (c : Conflict.t) -> c.Conflict.state) conflicts)
+    in
+    let n_states = Lr0.n_states ctx.lr0 in
+    [ diag conflict_density_code Diagnostic.Info Diagnostic.Grammar_wide
+        "%d conflict%s across %d of %d states (%.1f%% of states conflicted)"
+        n
+        (if n = 1 then "" else "s")
+        (List.length states) n_states
+        (100.0 *. float_of_int (List.length states) /. float_of_int n_states)
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Registry. *)
 
@@ -462,6 +520,14 @@ let registry : (rule * (context -> Diagnostic.t list)) list =
         default_severity = Diagnostic.Info;
         doc = "shift/reduce decision settled silently by precedence" },
       check_precedence_resolved );
+    ( { code = sr_unreachable_conflict_code; group = Conflicts;
+        default_severity = Diagnostic.Warning;
+        doc = "conflict outside the SR-automaton's reachable region" },
+      check_sr_unreachable_conflict );
+    ( { code = conflict_density_code; group = Conflicts;
+        default_severity = Diagnostic.Info;
+        doc = "grammar-wide conflict concentration summary" },
+      check_conflict_density );
     ( { code = unclassified; group = Conflicts;
         default_severity = Diagnostic.Info;
         doc = "conflict matching no static pattern" },
@@ -481,10 +547,13 @@ let check_codes codes =
 
 let context table =
   let lalr = Parse_table.lalr table in
+  let lr0 = Lalr.lr0 lalr in
   let conflicts = Parse_table.conflicts table in
   { grammar = Parse_table.grammar table;
     analysis = Lalr.analysis lalr;
     lalr;
+    lr0;
+    sr_region = lazy (Lr0.forward_reach lr0);
     conflicts;
     resolved = Parse_table.resolved_conflicts table;
     classifications =

@@ -109,7 +109,8 @@ let reuse_counterexample ~oracle ~remap session (new_conflict : Conflict.t)
             elapsed = 0.0;
             configs_explored = 0;
             failure = None;
-            validation = Cex.Driver.Validated }
+            validation = Cex.Driver.Validated;
+            engine = base_cr.Cex.Driver.engine }
       | _failures -> None))
   | _ -> None
 

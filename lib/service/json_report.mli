@@ -4,7 +4,7 @@
     Schema sketch (stable keys, see the golden tests):
 
     {v
-    { "schema_version": 4,
+    { "schema_version": 5,
       "stats": { "jobs", "grammars", "conflicts", "wall_seconds",
                  "max_queue_depth", "stages": {...},
                  "cache": { "sessions": {"hits","misses","evictions"},
@@ -19,7 +19,7 @@
           "conflicts": [
             { "state", "terminal", "kind", "classification",
               "reduce_item", "other_item",
-              "outcome", "elapsed", "configs_explored",
+              "outcome", "engine", "elapsed", "configs_explored",
               "failure": null | "<exception and backtrace>",
               "validation": null              // oracle not run
                 | { "status": "valid" }
@@ -35,7 +35,7 @@
     diagnostic object shape:
 
     {v
-    { "schema_version": 4,
+    { "schema_version": 5,
       "summary": { "grammars", "diagnostics", "errors", "warnings", "infos",
                    "conflicts", "unclassified_conflicts",
                    "codes": { "<rule-code>": count, ... } },
@@ -49,12 +49,14 @@
     v} *)
 
 val schema_version : int
-(** Version 4: conflict objects carry ["failure"] and ["validation"] (the
-    counterexample oracle's verdict), summaries split ["skipped"] and
-    ["crashed"] out of ["timeouts"], and ["search_crashed"] joins the
-    outcome strings. Version 3 added per-stage ["metrics"]; version 2 added
-    conflict ["classification"], optional ["diagnostics"] arrays and the
-    lint document. *)
+(** Version 5: conflict objects carry ["engine"] (which search engine
+    produced the report — ["product"] or ["srwalk"]; the race winner under
+    [--engine race]), and engine stages in ["metrics"] are namespaced
+    (["product.search"], ["srwalk.search"], ["product.nonunifying"], ...).
+    Version 4 added ["failure"] and ["validation"], and split ["skipped"]
+    and ["crashed"] out of ["timeouts"]. Version 3 added per-stage
+    ["metrics"]; version 2 added conflict ["classification"], optional
+    ["diagnostics"] arrays and the lint document. *)
 
 val outcome_string : Cex.Driver.outcome -> string
 (** ["found_unifying"], ["no_unifying_exists"], ["search_timeout"],

@@ -1,0 +1,95 @@
+open Cfg
+open Automaton
+module Session = Cex_session.Session
+
+type t = {
+  lalr : Lalr.t;
+  lr0 : Lr0.t;
+  g : Grammar.t;
+  analysis : Analysis.t;
+  kbits : int;
+  first_id : int array;
+  next_code : int array;
+  dot : int array;
+  prod : int array;
+  lhs : int array;
+  rhs_len : int array;
+  exp_prods : int array array;
+  region : Bytes.t;
+}
+
+let of_lalr lalr =
+  let lr0 = Lalr.lr0 lalr in
+  let g = Lalr.grammar lalr in
+  let n_ids = Lr0.n_item_ids lr0 in
+  let kbits =
+    let rec go b = if 1 lsl b >= n_ids then b else go (b + 1) in
+    go 1
+  in
+  let first_id =
+    Array.init (Grammar.n_productions g) (fun p ->
+        Lr0.item_id lr0 (Item.make p 0))
+  in
+  let next_code = Array.make n_ids (-1) in
+  let dot = Array.make n_ids 0 in
+  let prod = Array.make n_ids 0 in
+  let lhs = Array.make n_ids 0 in
+  let rhs_len = Array.make n_ids 0 in
+  let exp_prods = Array.make n_ids [||] in
+  for id = 0 to n_ids - 1 do
+    let item = Lr0.item_of_id lr0 id in
+    dot.(id) <- item.Item.dot;
+    prod.(id) <- item.Item.prod;
+    lhs.(id) <- Lr0.lhs_of_id lr0 id;
+    rhs_len.(id) <- Lr0.rhs_length_of_id lr0 id;
+    match Lr0.next_symbol_of_id lr0 id with
+    | None -> next_code.(id) <- -1
+    | Some (Symbol.Terminal t) -> next_code.(id) <- 2 * t
+    | Some (Symbol.Nonterminal nt) ->
+      next_code.(id) <- (2 * nt) + 1;
+      exp_prods.(id) <- Array.of_list (Grammar.productions_of g nt)
+  done;
+  { lalr;
+    lr0;
+    g;
+    analysis = Lalr.analysis lalr;
+    kbits;
+    first_id;
+    next_code;
+    dot;
+    prod;
+    lhs;
+    rhs_len;
+    exp_prods;
+    region = Lr0.forward_reach lr0 }
+
+(* Memoized per session: the build walks the whole id space and the
+   forward-reachability BFS touches every automaton edge, so it runs once
+   under the cell lock and every conflict (on any domain) reuses it. *)
+type cell = {
+  lock : Mutex.t;
+  mutable built : t option;
+}
+
+let cell_key : cell Session.Store.key = Session.Store.key ()
+
+let of_session session =
+  let cell =
+    Session.shared session cell_key (fun () ->
+        { lock = Mutex.create (); built = None })
+  in
+  Mutex.lock cell.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock cell.lock)
+    (fun () ->
+      match cell.built with
+      | Some sr -> sr
+      | None ->
+        let sr = of_lalr (Session.lalr session) in
+        cell.built <- Some sr;
+        sr)
+
+let pack sr state id = (state lsl sr.kbits) lor id
+let state_of sr v = v lsr sr.kbits
+let id_of sr v = v land ((1 lsl sr.kbits) - 1)
+let in_region sr state id = Lr0.reach_mem sr.lr0 sr.region state id

@@ -6,6 +6,8 @@ open Cfg
    by [Random.State.make [| seed |]] and by configuration budgets, never by
    wall-clock reads, so a seed reproduces bit-identically. *)
 
+type engines = Product_only | Both
+
 type config = {
   max_terminals : int;
   max_nonterminals : int;
@@ -15,6 +17,7 @@ type config = {
   baseline_bound : int;  (** sentence-length bound for the baselines *)
   baseline_max_forms : int;
   shrink_attempts : int;
+  engines : engines;  (** [Both] cross-checks product against srwalk *)
 }
 
 let default_config =
@@ -25,7 +28,8 @@ let default_config =
     max_configs = 20_000;
     baseline_bound = 8;
     baseline_max_forms = 200_000;
-    shrink_attempts = 200 }
+    shrink_attempts = 200;
+    engines = Both }
 
 (* ------------------------------------------------------------------ *)
 (* Grammar generation *)
@@ -96,6 +100,13 @@ let driver_options config =
     cumulative_timeout = 3600.0;
     max_configs = config.max_configs }
 
+let outcome_string = function
+  | Cex.Driver.Found_unifying -> "found_unifying"
+  | Cex.Driver.No_unifying_exists -> "no_unifying_exists"
+  | Cex.Driver.Search_timeout -> "search_timeout"
+  | Cex.Driver.Skipped_search -> "skipped_search"
+  | Cex.Driver.Search_crashed -> "search_crashed"
+
 let check_grammar config grammar =
   let session = Cex_session.Session.create grammar in
   let report =
@@ -159,6 +170,37 @@ let check_grammar config grammar =
               min_len u.Cex.Product_search.nonterminal)
       | Some (Cex.Driver.Nonunifying _) | None -> ())
     report.Cex.Driver.conflict_reports;
+  (* 4. Differential: the SR-automaton walk must reach the same verdict as
+     the product search on every conflict, and its counterexamples must
+     satisfy the oracle too. Budgets are config counts, so both runs are
+     deterministic and the comparison is machine-independent. *)
+  (if config.engines = Both && conflicts > 0 then
+     let sr_options =
+       { (driver_options config) with Cex.Driver.engine = Cex.Driver.Srwalk }
+     in
+     let sr_report =
+       Cex.Driver.analyze_session ~options:sr_options session
+     in
+     let sr_report = Oracle.validate_report oracle sr_report in
+     List.iter2
+       (fun (p : Cex.Driver.conflict_report)
+            (s : Cex.Driver.conflict_report) ->
+         (match s.Cex.Driver.validation with
+         | Cex.Driver.Validation_failed codes ->
+           problem "oracle rejected srwalk state %d terminal %d: %s"
+             s.Cex.Driver.conflict.Automaton.Conflict.state
+             s.Cex.Driver.conflict.Automaton.Conflict.terminal
+             (String.concat ", " codes)
+         | Cex.Driver.Validated | Cex.Driver.Not_validated -> ());
+         if p.Cex.Driver.outcome <> s.Cex.Driver.outcome then
+           problem
+             "engine divergence at state %d terminal %d: product %s vs \
+              srwalk %s"
+             p.Cex.Driver.conflict.Automaton.Conflict.state
+             p.Cex.Driver.conflict.Automaton.Conflict.terminal
+             (outcome_string p.Cex.Driver.outcome)
+             (outcome_string s.Cex.Driver.outcome))
+       report.Cex.Driver.conflict_reports sr_report.Cex.Driver.conflict_reports);
   { conflicts;
     unifying = Cex.Driver.n_unifying report;
     nonunifying = Cex.Driver.n_nonunifying report;

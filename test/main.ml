@@ -17,6 +17,7 @@ let () =
       Test_lint.suite;
       Test_driver.suite;
       Test_session.suite;
+      Test_srwalk.suite;
       Test_service.suite;
       Test_serve.suite;
       Test_validate.suite;

@@ -142,7 +142,7 @@ let test_crash_becomes_outcome () =
     Cex_session.Trace.make
       ~on_span:(fun _ _ -> ())
       ~on_count:(fun stage _ _ ->
-        if stage = "product_search" then failwith "injected crash")
+        if stage = "product.search" then failwith "injected crash")
   in
   let session = Cex_session.Session.create ~trace:bomb g in
   let report = Cex_service.Scheduler.analyze_session ~jobs:2 session in
@@ -227,7 +227,7 @@ let test_json_parser () =
 
 let golden =
   {|{
-  "schema_version": 4,
+  "schema_version": 5,
   "stats": {
     "jobs": 1,
     "grammars": 1,
@@ -288,7 +288,7 @@ let golden =
             "relaxations": 33
           }
         },
-        "product_search": {
+        "product.search": {
           "seconds": 0.0,
           "spans": 1,
           "counters": {
@@ -315,6 +315,7 @@ let golden =
           "reduce_item": "stmt ::= IF expr THEN stmt •",
           "other_item": "stmt ::= IF expr THEN stmt • ELSE stmt",
           "outcome": "found_unifying",
+          "engine": "product",
           "elapsed": 0.0,
           "configs_explored": 135,
           "failure": null,

@@ -1,0 +1,21 @@
+(* Corpus srwalk-vs-product agreement gate (CI: nonzero exit on any
+   divergence or oracle-rejected srwalk witness). Deterministic: both
+   engines run under the same configuration budget and no wall-clock
+   deadline, so the verdict depends only on the engines themselves. *)
+
+let usage = "agreement [--max-configs N]"
+
+let () =
+  let max_configs = ref Evaluation.Agreement.default_max_configs in
+  let args =
+    [ ( "--max-configs",
+        Arg.Set_int max_configs,
+        "N  per-conflict configuration budget (default 10000)" ) ]
+  in
+  Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let summary = Evaluation.Agreement.run ~max_configs:!max_configs () in
+  Format.printf "%a@." Evaluation.Agreement.pp_summary summary;
+  List.iter
+    (fun p -> Format.printf "  %s@." p)
+    summary.Evaluation.Agreement.problems;
+  if summary.Evaluation.Agreement.problems <> [] then exit 1
