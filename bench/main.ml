@@ -542,6 +542,65 @@ let parallel_json p =
       ("java5_parallel_ms", Cex_service.Json.Float p.java5_par_ms);
       ("java5_speedup", Cex_service.Json.Float (speedup p.java5_seq_ms p.java5_par_ms)) ]
 
+(* ------------------------------------------------------------------ *)
+(* The stress tier: streamed windowed-batch throughput over generated
+   grammars — the grammars/s figure the 10k-grammar soak gate and capacity
+   planning extrapolate from. Budgets are configuration counts (never wall
+   clocks), so the per-grammar work is deterministic; only the wall time
+   varies with the machine. *)
+
+type stress_point = {
+  stress_grammars : int;
+  stress_window : int;
+  stress_wall_ms : float;
+  stress_grammars_per_second : float;
+  stress_conflicts : int;
+  stress_max_live_sessions : int;
+}
+
+let stress_point () =
+  let n = if quick then 40 else 200 in
+  let window = Cex_service.Scheduler.default_window in
+  let options =
+    { Cex.Driver.default_options with
+      Cex.Driver.per_conflict_timeout = 1e12;
+      cumulative_timeout = 1e12;
+      max_configs = 2_000 }
+  in
+  let service =
+    Cex_service.Scheduler.create ~options ~jobs:4 ~cache_capacity:64 ()
+  in
+  let emitted = ref 0 in
+  let t0 = Cex_session.Clock.now Cex_session.Clock.system in
+  let stats =
+    Cex_service.Scheduler.analyze_batch_emit ~window service
+      ~emit:(fun _ -> incr emitted)
+      (Corpus.Stress.seq n)
+  in
+  let wall_ms =
+    (Cex_session.Clock.now Cex_session.Clock.system -. t0) *. 1000.0
+  in
+  assert (!emitted = n);
+  { stress_grammars = n;
+    stress_window = window;
+    stress_wall_ms = wall_ms;
+    stress_grammars_per_second =
+      (if wall_ms > 0.0 then float_of_int n /. (wall_ms /. 1000.0) else 0.0);
+    stress_conflicts = stats.Cex_service.Stats.conflicts;
+    stress_max_live_sessions = stats.Cex_service.Stats.max_live_sessions }
+
+let stress_json p =
+  Cex_service.Json.Obj
+    [ ("grammars", Cex_service.Json.Int p.stress_grammars);
+      ("window", Cex_service.Json.Int p.stress_window);
+      ("max_configs", Cex_service.Json.Int 2_000);
+      ("wall_ms", Cex_service.Json.Float p.stress_wall_ms);
+      ( "grammars_per_second",
+        Cex_service.Json.Float p.stress_grammars_per_second );
+      ("conflicts", Cex_service.Json.Int p.stress_conflicts);
+      ( "max_live_sessions",
+        Cex_service.Json.Int p.stress_max_live_sessions ) ]
+
 (* Sum of the baseline's per-stage totals: the closest thing schema-2
    baselines have to an end-to-end corpus wall time. *)
 let baseline_total_ms doc =
@@ -689,11 +748,12 @@ let json_bench ~out ~baseline =
     |> List.sort String.compare
   in
   let serve = serve_point () in
+  let stress = stress_point () in
   let conflict_jobs = 4 in
   let par = parallel_point ~options ~conflict_jobs in
   let doc =
     Cex_service.Json.Obj
-      [ ("schema", Cex_service.Json.Int 4);
+      [ ("schema", Cex_service.Json.Int 5);
         ( "workload",
           Cex_service.Json.Obj
             [ ("corpus", Cex_service.Json.String "all");
@@ -714,7 +774,8 @@ let json_bench ~out ~baseline =
               ( "winner_srwalk",
                 Cex_service.Json.Int (race_counter "winner_srwalk") ) ] );
         ("parallel", parallel_json par);
-        ("serve", serve_json serve) ]
+        ("serve", serve_json serve);
+        ("stress", stress_json stress) ]
   in
   Out_channel.with_open_text out (fun oc ->
       output_string oc (Cex_service.Json.to_string doc);
@@ -735,6 +796,11 @@ let json_bench ~out ~baseline =
     par.java5_seq_ms conflict_jobs par.java5_par_ms;
   Fmt.pr "serve latency (ms): cold %.3f, warm %.3f, incremental %.3f@."
     serve.serve_cold_ms serve.serve_warm_ms serve.serve_incremental_ms;
+  Fmt.pr "stress: %d grammars in %.1f ms = %.1f grammars/s (%d conflicts, \
+          peak %d live sessions at window %d)@."
+    stress.stress_grammars stress.stress_wall_ms
+    stress.stress_grammars_per_second stress.stress_conflicts
+    stress.stress_max_live_sessions stress.stress_window;
   Fmt.pr "wrote %s@." out;
   match baseline with
   | None -> true

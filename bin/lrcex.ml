@@ -191,24 +191,100 @@ let validate_batch_result (r : Cex_service.Scheduler.batch_result) =
       Cex_validate.Oracle.validate_report oracle
         r.Cex_service.Scheduler.report }
 
-let run_batch paths use_corpus timeout cumulative extended engine jobs json
-    trace lint lint_error validate cache_size repeat =
-  match load_batch_entries paths use_corpus with
-  | Error msg ->
+(* "I/N" -> (i, n); the digest-based assignment itself is
+   [Scheduler.shard_of]. *)
+let parse_shard = function
+  | None -> Ok None
+  | Some s -> (
+    match String.split_on_char '/' s with
+    | [ i; n ] -> (
+      match (int_of_string_opt i, int_of_string_opt n) with
+      | Some i, Some n when n >= 1 && i >= 0 && i < n -> Ok (Some (i, n))
+      | _ ->
+        Error (Fmt.str "invalid --shard %s (need 0 <= I < N)" s))
+    | _ -> Error (Fmt.str "invalid --shard %s (expected I/N)" s))
+
+(* The streaming pipeline: one minified NDJSON record per grammar the
+   moment its window completes, one final summary record. Validation and
+   lint run per grammar inside the emit callback, so nothing about a
+   finished grammar is retained beyond its line and the running totals. *)
+let run_batch_stream service ~window ~shard ~lint ~lint_error ~validate
+    ~entries =
+  let totals = ref Cex_service.Scheduler.zero_totals in
+  let has_conflicts = ref false in
+  let oracle_failed = ref false in
+  let lint_failed = ref false in
+  let emit (r : Cex_service.Scheduler.batch_result) =
+    let r = if validate then validate_batch_result r else r in
+    let report = r.Cex_service.Scheduler.report in
+    let diagnostics =
+      if lint || lint_error then Some (Cex_lint.Lint.run report.Cex.Driver.table)
+      else None
+    in
+    totals := Cex_service.Scheduler.add_totals !totals r;
+    if report.Cex.Driver.conflict_reports <> [] then has_conflicts := true;
+    if validate && validation_failed report then oracle_failed := true;
+    (match diagnostics with
+    | Some diags when Cex_lint.Diagnostic.has_errors diags -> lint_failed := true
+    | _ -> ());
+    print_string
+      (Cex_service.Json.to_string ~minify:true
+         (Cex_service.Json_report.stream_grammar_to_json ?diagnostics r));
+    print_newline ();
+    flush stdout
+  in
+  let stats =
+    Cex_service.Scheduler.analyze_batch_emit ~window ?shard service ~emit
+      entries
+  in
+  print_string
+    (Cex_service.Json.to_string ~minify:true
+       (Cex_service.Json_report.stream_summary_to_json ?shard ~totals:!totals
+          stats));
+  print_newline ();
+  flush stdout;
+  if !oracle_failed then 4
+  else if !has_conflicts then 2
+  else if lint_error && !lint_failed then 3
+  else 0
+
+let run_batch paths use_corpus stress timeout cumulative extended engine jobs
+    json trace lint lint_error validate cache_size repeat stream window
+    shard_spec =
+  match
+    ( load_batch_entries paths use_corpus,
+      parse_shard shard_spec )
+  with
+  | Error msg, _ | _, Error msg ->
     Fmt.epr "error: %s@." msg;
     1
-  | Ok [] ->
-    Fmt.epr "error: no grammars to analyze (pass files or --corpus)@.";
+  | Ok [], Ok _ when stress <= 0 ->
+    Fmt.epr
+      "error: no grammars to analyze (pass files, --corpus or --stress N)@.";
     1
-  | Ok entries ->
+  | Ok listed, Ok shard ->
+    let entries =
+      Seq.append (List.to_seq listed)
+        (if stress > 0 then Corpus.Stress.seq stress else Seq.empty)
+    in
     let options = make_options timeout cumulative extended engine in
     let service =
       Cex_service.Scheduler.create ~options ~jobs ~cache_capacity:cache_size ()
     in
+    let window =
+      if window > 0 then window else Cex_service.Scheduler.default_window
+    in
+    if stream then
+      run_batch_stream service ~window ~shard ~lint ~lint_error ~validate
+        ~entries
+    else begin
+    let entries = List.of_seq entries in
     let results = ref [] in
     let stats = ref None in
     for _ = 1 to max 1 repeat do
-      let rs, st = Cex_service.Scheduler.analyze_batch service entries in
+      let rs, st =
+        Cex_service.Scheduler.analyze_batch ~window ?shard service entries
+      in
       results := rs;
       stats := Some st
     done;
@@ -287,6 +363,7 @@ let run_batch paths use_corpus timeout cumulative extended engine jobs json
                r.Cex_service.Scheduler.report.Cex.Driver.conflict_reports <> [])
              results)
         diagnostics
+    end
 
 (* ------------------------------------------------------------------ *)
 (* The validate command: analyze, then machine-check every emitted
@@ -707,15 +784,55 @@ let batch_cmd =
       & info [ "repeat" ] ~docv:"N"
           ~doc:"Run the whole batch $(docv) times against one service \
                 instance (demonstrates cache hits; stats are from the last \
-                run).")
+                run). Ignored with $(b,--stream).")
+  in
+  let stress_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "stress" ] ~docv:"N"
+          ~doc:"Also analyze the first $(docv) grammars of the generated \
+                stress tier — deterministic seeded grammars banded by size \
+                and ambiguity, regenerated on demand and never stored. \
+                Combine with $(b,--stream) to keep memory flat over \
+                thousands of grammars.")
+  in
+  let stream_arg =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:"Stream results as NDJSON: one $(b,record:grammar) object \
+                per line the moment a grammar's window completes, then one \
+                final $(b,record:summary) line. Grammars are pulled \
+                lazily and released after emission, so peak memory depends \
+                on $(b,--window) and $(b,--cache-size), not batch length. \
+                Implies JSON output.")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "window" ] ~docv:"N"
+          ~doc:"In-flight window of the batch pipeline (grammars prepared \
+                and analyzed together; default 32). Per-grammar reports \
+                are byte-identical at any window size.")
+  in
+  let shard_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "shard" ] ~docv:"I/N"
+          ~doc:"Analyze only the grammars whose content digest falls in \
+                shard $(docv) (deterministic, process-independent). \
+                Disjoint and covering across I = 0..N-1, so independent \
+                invocations partition a corpus; per-shard $(b,--stream) \
+                summary records merge with tools/merge_shards.")
   in
   let doc = "analyze many grammars through the batch service" in
   Cmd.v
     (Cmd.info "batch" ~doc)
     Term.(
-      const run_batch $ paths_arg $ corpus_arg $ timeout_arg $ cumulative_arg
-      $ extended_arg $ engine_arg $ jobs_arg $ json_arg $ trace_arg $ lint_arg
-      $ lint_error_arg $ validate_arg $ cache_arg $ repeat_arg)
+      const run_batch $ paths_arg $ corpus_arg $ stress_arg $ timeout_arg
+      $ cumulative_arg $ extended_arg $ engine_arg $ jobs_arg $ json_arg
+      $ trace_arg $ lint_arg $ lint_error_arg $ validate_arg $ cache_arg
+      $ repeat_arg $ stream_arg $ window_arg $ shard_arg)
 
 let validate_cmd =
   let paths_arg =

@@ -7,6 +7,7 @@ module Sql_grammars = Sql_grammars
 module Pascal_grammars = Pascal_grammars
 module C_grammars = C_grammars
 module Java_grammars = Java_grammars
+module Stress = Stress
 
 type category =
   | Ours

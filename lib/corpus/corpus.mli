@@ -10,6 +10,9 @@ module Pascal_grammars = Pascal_grammars
 module C_grammars = C_grammars
 module Java_grammars = Java_grammars
 
+module Stress = Stress
+(** The deterministic generated stress tier ([lrcex batch --stress]). *)
+
 type category =
   | Ours  (** the paper's own grammars (Table 1, first block) *)
   | Stack  (** StackOverflow / StackExchange reconstructions *)

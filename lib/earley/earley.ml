@@ -6,107 +6,135 @@ type t = {
 
 let make grammar = { grammar }
 
-(* Keys of the counting chart. [Nt (n, i, j)] counts derivation trees of
-   input[i..j) rooted at a production of nonterminal [n], plus the bare-leaf
-   match. [Seq (p, k, i, j)] counts ways the suffix of production [p]
-   starting at right-hand-side position [k] derives input[i..j). *)
-type key =
-  | Nt of int * int * int
-  | Seq of int * int * int * int
-
 (* Saturating arithmetic: counts live in [0..cap], where [cap] stands for
-   "cap or more". The counting equations are monotone, so Kleene iteration
+   "cap or more". The counting equations are monotone, so iterating them
    from the all-zero chart converges to min(true count, cap) even for cyclic
    grammars with infinitely many trees. *)
 let sat_add cap a b = min cap (a + b)
 let sat_mul cap a b = min cap (a * b)
 
+(* Dense chart over spans of the input. [nt_tab] holds, per nonterminal [m]
+   and span [i..j), the number of derivation trees rooted at a production of
+   [m] (plus the bare-leaf match). [seq_tab] holds, per right-hand-side
+   position (production [p], offset [k], flattened via [pos_base]) and span,
+   the number of ways the suffix of [p] starting at [k] derives the span.
+   The "past the end" suffix (k = |rhs|) is the constant empty match and is
+   not stored. Dense arrays rather than a hashtable: the batch oracle builds
+   one chart per distinct sentential form, so per-cell constant factors
+   dominate end-to-end validation time. *)
 type chart = {
   parser : t;
   input : Symbol.t array;
   cap : int;
-  table : (key, int) Hashtbl.t;
-  mutable changed : bool;
+  n : int;
+  pos_base : int array;
+  nt_tab : int array;
+  seq_tab : int array;
 }
 
-let get c key = Option.value ~default:0 (Hashtbl.find_opt c.table key)
+let nt_get c m i j = c.nt_tab.(((m * (c.n + 1)) + i) * (c.n + 1) + j)
 
-(* Store monotonically, and record mere key discovery as a change so the
-   fixpoint loop revisits keys that currently evaluate to 0. *)
-let set c key v =
-  match Hashtbl.find_opt c.table key with
-  | None ->
-    Hashtbl.replace c.table key v;
-    c.changed <- true
-  | Some old when v > old ->
-    Hashtbl.replace c.table key v;
-    c.changed <- true
-  | Some _ -> ()
+let seq_get c pos i j = c.seq_tab.(((pos * (c.n + 1)) + i) * (c.n + 1) + j)
 
 let leaf_matches c sym i j = j = i + 1 && Symbol.equal c.input.(i) sym
 
-(* One evaluation pass of the counting equations over a key, reading the
-   current chart. *)
-let rec eval c key =
-  match key with
-  | Seq (p, k, i, j) -> eval_seq c p k i j
-  | Nt (n, i, j) ->
-    let rooted =
-      List.fold_left
-        (fun acc p -> sat_add c.cap acc (eval_seq c p 0 i j))
-        0
-        (Grammar.productions_of c.parser.grammar n)
-    in
-    let total =
-      if leaf_matches c (Symbol.Nonterminal n) i j then sat_add c.cap rooted 1
-      else rooted
-    in
-    set c key total;
-    total
-
-and eval_seq c p k i j =
+(* Suffix count for production [p] from offset [k] over span [i..j), reading
+   the current chart. Loops over the split point of the first symbol; exits
+   early once the count saturates. *)
+let eval_seq c p k i j =
   let prod = Grammar.production c.parser.grammar p in
   let rhs = prod.Grammar.rhs in
-  if k = Array.length rhs then if i = j then 1 else 0
-  else begin
-    let key = Seq (p, k, i, j) in
-    let total = ref 0 in
-    for m = i to j do
-      let first =
-        match rhs.(k) with
-        | Symbol.Terminal _ as sym -> if leaf_matches c sym i m then 1 else 0
-        | Symbol.Nonterminal n ->
-          (* Read the chart rather than recursing: recursion through
-             nonterminals could loop on cyclic grammars. The outer iteration
-             re-evaluates until the chart is stable. *)
-          let sub = Nt (n, i, m) in
-          (* Make sure the key is discovered so the fixpoint loop visits it. *)
-          if not (Hashtbl.mem c.table sub) then begin
-            Hashtbl.replace c.table sub 0;
-            c.changed <- true
-          end;
-          get c sub
-      in
-      if first > 0 then
-        total :=
-          sat_add c.cap !total (sat_mul c.cap first (eval_seq c p (k + 1) m j))
-    done;
-    set c key !total;
-    !total
-  end
+  let last = k + 1 = Array.length rhs in
+  let total = ref 0 in
+  let m = ref i in
+  while !m <= j && !total < c.cap do
+    let first =
+      match rhs.(k) with
+      | Symbol.Terminal _ as sym -> if leaf_matches c sym i !m then 1 else 0
+      | Symbol.Nonterminal nm -> nt_get c nm i !m
+    in
+    (if first > 0 then
+       let rest =
+         if last then if !m = j then 1 else 0
+         else seq_get c (c.pos_base.(p) + k + 1) !m j
+       in
+       total := sat_add c.cap !total (sat_mul c.cap first rest));
+    incr m
+  done;
+  !total
 
-(* Build the full chart for [input], including the root key, and iterate to
-   the least fixpoint. *)
-let build_chart parser ~cap ~start input =
+let eval_nt c nm i j =
+  let rooted =
+    List.fold_left
+      (fun acc p ->
+        if acc >= c.cap then acc
+        else
+          let rhs = (Grammar.production c.parser.grammar p).Grammar.rhs in
+          let v =
+            if Array.length rhs = 0 then if i = j then 1 else 0
+            else seq_get c (c.pos_base.(p)) i j
+          in
+          sat_add c.cap acc v)
+      0
+      (Grammar.productions_of c.parser.grammar nm)
+  in
+  if leaf_matches c (Symbol.Nonterminal nm) i j then sat_add c.cap rooted 1
+  else rooted
+
+(* Build the full chart bottom-up by span length. A cell of span [i..j)
+   depends only on cells of nested spans, which are strictly shorter except
+   at the two degenerate split points (m = i, m = j) — those same-span
+   dependencies form cycles only through nullable prefixes/suffixes and unit
+   chains, so each span gets a small local fixpoint (values are monotone and
+   bounded by [cap], and the suffix-before-nonterminal sweep order settles
+   most spans in one pass). *)
+let build_chart parser ~cap ~start:_ input =
+  let g = parser.grammar in
   let n = Array.length input in
-  let c = { parser; input; cap; table = Hashtbl.create 256; changed = true } in
-  (match start with
-  | Symbol.Terminal _ -> ()
-  | Symbol.Nonterminal nt -> ignore (eval c (Nt (nt, 0, n))));
-  while c.changed do
-    c.changed <- false;
-    let keys = Hashtbl.fold (fun k _ acc -> k :: acc) c.table [] in
-    List.iter (fun k -> ignore (eval c k)) keys
+  let np = Grammar.n_productions g in
+  let nnt = Grammar.n_nonterminals g in
+  let pos_base = Array.make (np + 1) 0 in
+  for p = 0 to np - 1 do
+    pos_base.(p + 1) <-
+      pos_base.(p) + Array.length (Grammar.production g p).Grammar.rhs
+  done;
+  let dim = n + 1 in
+  let c =
+    { parser;
+      input;
+      cap;
+      n;
+      pos_base;
+      nt_tab = Array.make (nnt * dim * dim) 0;
+      seq_tab = Array.make (pos_base.(np) * dim * dim) 0 }
+  in
+  for d = 0 to n do
+    for i = 0 to n - d do
+      let j = i + d in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        for p = 0 to np - 1 do
+          let rhs = (Grammar.production g p).Grammar.rhs in
+          for k = Array.length rhs - 1 downto 0 do
+            let v = eval_seq c p k i j in
+            let idx = (((pos_base.(p) + k) * dim) + i) * dim + j in
+            if v > c.seq_tab.(idx) then begin
+              c.seq_tab.(idx) <- v;
+              changed := true
+            end
+          done
+        done;
+        for m = 0 to nnt - 1 do
+          let v = eval_nt c m i j in
+          let idx = ((m * dim) + i) * dim + j in
+          if v > c.nt_tab.(idx) then begin
+            c.nt_tab.(idx) <- v;
+            changed := true
+          end
+        done
+      done
+    done
   done;
   c
 
@@ -122,7 +150,7 @@ let count_generic ~rooted_only parser ?(cap = 4) ~start input =
     | Symbol.Terminal _ as sym ->
       if (not rooted_only) && leaf_matches c sym 0 n then 1 else 0
     | Symbol.Nonterminal nt ->
-      let full = get c (Nt (nt, 0, n)) in
+      let full = nt_get c nt 0 n in
       if rooted_only && leaf_matches c (Symbol.Nonterminal nt) 0 n then full - 1
       else full
   in
@@ -157,7 +185,7 @@ let derivations parser ?(limit = 2) ?(max_nodes = 200) ~start input =
     ||
     match sym with
     | Symbol.Terminal _ -> false
-    | Symbol.Nonterminal n -> get chart (Nt (n, i, j)) > 0
+    | Symbol.Nonterminal n -> nt_get chart n i j > 0
   in
   let results = ref [] in
   let n_results = ref 0 in

@@ -2,6 +2,7 @@ type counters = {
   hits : int;
   misses : int;
   evictions : int;
+  races : int;
 }
 
 type 'a entry = {
@@ -17,6 +18,7 @@ type 'a t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable races : int;
 }
 
 let digest g = Digest.to_hex (Digest.string (Cfg.Export.to_spec g))
@@ -28,7 +30,8 @@ let create ?(capacity = 128) () =
     tick = 0;
     hits = 0;
     misses = 0;
-    evictions = 0 }
+    evictions = 0;
+    races = 0 }
 
 let with_lock t f =
   Mutex.lock t.lock;
@@ -76,18 +79,34 @@ let add_unlocked t key value =
 
 let find t key = with_lock t (fun () -> find_unlocked t key)
 
+(* The build runs outside the lock: a session build takes milliseconds and
+   holding the shard lock across it would stall every same-shard request
+   behind one builder. The price is a benign duplicate-build race — two
+   domains may both miss and both build — resolved on insert: the re-check
+   under the lock keeps the first value (so all callers share one
+   physically-equal value) and counts the discarded build as a race. *)
 let find_or_build t key build =
-  with_lock t (fun () ->
-      match find_unlocked t key with
-      | Some v -> v
-      | None ->
-        let v = build () in
-        add_unlocked t key v;
-        v)
+  match find t key with
+  | Some v -> v
+  | None -> (
+    let v = build () in
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some entry ->
+          t.races <- t.races + 1;
+          touch t entry;
+          entry.value
+        | None ->
+          add_unlocked t key v;
+          v))
 
 let set t key value =
   with_lock t (fun () ->
       if Hashtbl.mem t.table key then begin
+        (* The find/build/set call sites only re-store a key after a miss,
+           so a live entry here means another domain built the same digest
+           concurrently: count the duplicate build. *)
+        t.races <- t.races + 1;
         let entry = { value; last_used = 0 } in
         touch t entry;
         Hashtbl.replace t.table key entry
@@ -96,7 +115,8 @@ let set t key value =
 
 let counters t =
   with_lock t (fun () ->
-      { hits = t.hits; misses = t.misses; evictions = t.evictions })
+      { hits = t.hits; misses = t.misses; evictions = t.evictions;
+        races = t.races })
 
 let clear t = with_lock t (fun () -> Hashtbl.reset t.table)
 
@@ -105,16 +125,18 @@ let fold f t init =
       Hashtbl.fold (fun key entry acc -> f key entry.value acc) t.table init)
 
 let pp_counters ppf (c : counters) =
-  Fmt.pf ppf "%d hits, %d misses, %d evictions" c.hits c.misses c.evictions
+  Fmt.pf ppf "%d hits, %d misses, %d evictions, %d races" c.hits c.misses
+    c.evictions c.races
 
-let zero_counters = { hits = 0; misses = 0; evictions = 0 }
+let zero_counters = { hits = 0; misses = 0; evictions = 0; races = 0 }
 
 let sum_counters cs =
   List.fold_left
     (fun (acc : counters) (c : counters) : counters ->
       { hits = acc.hits + c.hits;
         misses = acc.misses + c.misses;
-        evictions = acc.evictions + c.evictions })
+        evictions = acc.evictions + c.evictions;
+        races = acc.races + c.races })
     zero_counters cs
 
 module Sharded = struct

@@ -5,8 +5,11 @@
     files describing the same grammar share one cache slot, and re-analysis
     of an unchanged grammar is a pure lookup. Eviction is LRU over a fixed
     capacity. All operations are thread-safe: a single mutex guards the
-    table, and the builder passed to {!find_or_build} runs under it, so each
-    digest is built at most once even when domains race. *)
+    table, but builders run {e outside} it — a multi-millisecond session
+    build must not stall every other request hashing to the same shard.
+    The price is a benign duplicate-build race (two domains may build the
+    same digest concurrently; the first insert wins and the loser's value
+    is discarded), which is observable through {!counters.races}. *)
 
 type 'a t
 
@@ -14,6 +17,11 @@ type counters = {
   hits : int;
   misses : int;
   evictions : int;
+  races : int;
+      (** duplicate-build races: an insert found the key already present,
+          meaning another domain built the same value between this
+          domain's miss and its insert (the losing build is discarded in
+          {!find_or_build}, overwritten by {!set}) *)
 }
 
 val digest : Cfg.Grammar.t -> string
@@ -33,12 +41,18 @@ val find : 'a t -> string -> 'a option
 
 val find_or_build : 'a t -> string -> (unit -> 'a) -> 'a
 (** [find_or_build t key build] returns the cached value for [key], or runs
-    [build], stores its result (evicting the least recently used entry when
-    full), and returns it. *)
+    [build] {e outside the lock}, stores its result (evicting the least
+    recently used entry when full), and returns it. If another domain
+    inserted [key] while [build] ran, the already-cached value is returned,
+    the fresh build is discarded, and a race is counted — every caller of
+    the same key sees one (physically) shared value. *)
 
 val set : 'a t -> string -> 'a -> unit
 (** Insert or replace without touching the hit/miss counters (used when the
-    caller has already recorded the miss); eviction is still counted. *)
+    caller has already recorded the miss); eviction is still counted.
+    Replacing a live entry counts a {!counters.races} — at the
+    find/build/set call sites (batch scheduler, incremental server) a
+    replacement means two domains built the same digest concurrently. *)
 
 val counters : 'a t -> counters
 val clear : 'a t -> unit

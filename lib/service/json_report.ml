@@ -1,7 +1,7 @@
 open Cfg
 open Automaton
 
-let schema_version = 5
+let schema_version = 6
 
 let outcome_string = function
   | Cex.Driver.Found_unifying -> "found_unifying"
@@ -162,7 +162,8 @@ let counters_to_json (c : Cache.counters) =
   Json.Obj
     [ ("hits", Json.Int c.Cache.hits);
       ("misses", Json.Int c.Cache.misses);
-      ("evictions", Json.Int c.Cache.evictions) ]
+      ("evictions", Json.Int c.Cache.evictions);
+      ("races", Json.Int c.Cache.races) ]
 
 let stats_to_json (s : Stats.summary) =
   Json.Obj
@@ -172,6 +173,7 @@ let stats_to_json (s : Stats.summary) =
       ("conflict_tasks", Json.Int s.Stats.conflict_tasks);
       ("wall_seconds", Json.Float s.Stats.wall_seconds);
       ("max_queue_depth", Json.Int s.Stats.max_queue_depth);
+      ("max_live_sessions", Json.Int s.Stats.max_live_sessions);
       ( "stages",
         Json.Obj
           (List.map (fun (name, secs) -> (name, Json.Float secs)) s.Stats.stages)
@@ -214,6 +216,45 @@ let batch_to_json ?stats ?lint results =
                  ~from_cache:r.Scheduler.from_cache ?diagnostics
                  r.Scheduler.report)
              results lint) ) ]
+
+(* ------------------------------------------------------------------ *)
+(* Streaming NDJSON records (`lrcex batch --stream`): one self-describing
+   object per line, distinguished by the leading "record" key — a "grammar"
+   record per completed grammar (the batch_to_json per-grammar object, plus
+   the tag), then exactly one final "summary" record carrying the mergeable
+   outcome totals and the run's stats. *)
+
+let stream_grammar_to_json ?diagnostics (r : Scheduler.batch_result) =
+  match
+    report_to_json ~name:r.Scheduler.name ~digest:r.Scheduler.digest
+      ~from_cache:r.Scheduler.from_cache ?diagnostics r.Scheduler.report
+  with
+  | Json.Obj fields -> Json.Obj (("record", Json.String "grammar") :: fields)
+  | json -> json
+
+let totals_to_json (t : Scheduler.totals) =
+  Json.Obj
+    [ ("grammars", Json.Int t.Scheduler.total_grammars);
+      ("conflicts", Json.Int t.Scheduler.total_conflicts);
+      ("unifying", Json.Int t.Scheduler.total_unifying);
+      ("nonunifying", Json.Int t.Scheduler.total_nonunifying);
+      ("timeouts", Json.Int t.Scheduler.total_timeouts);
+      ("skipped", Json.Int t.Scheduler.total_skipped);
+      ("crashed", Json.Int t.Scheduler.total_crashed);
+      ("invalid", Json.Int t.Scheduler.total_invalid);
+      ("from_cache", Json.Int t.Scheduler.total_from_cache) ]
+
+let stream_summary_to_json ?shard ~totals stats =
+  Json.Obj
+    [ ("record", Json.String "summary");
+      ("schema_version", Json.Int schema_version);
+      ( "shard",
+        match shard with
+        | None -> Json.Null
+        | Some (i, n) ->
+          Json.Obj [ ("index", Json.Int i); ("count", Json.Int n) ] );
+      ("totals", totals_to_json totals);
+      ("stats", stats_to_json stats) ]
 
 (* The lint document: a grammar-by-grammar dump of diagnostics and conflict
    classifications. No timings appear anywhere, so rendering this document is

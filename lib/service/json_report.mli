@@ -49,8 +49,12 @@
     v} *)
 
 val schema_version : int
-(** Version 5: conflict objects carry ["engine"] (which search engine
-    produced the report — ["product"] or ["srwalk"]; the race winner under
+(** Version 6: cache counter objects gain ["races"] (duplicate-build
+    races), stats gain ["max_live_sessions"] (peak sessions pinned by the
+    windowed batch pipeline), and the streaming NDJSON records
+    ({!stream_grammar_to_json}, {!stream_summary_to_json}) exist. Version
+    5: conflict objects carry ["engine"] (which search engine produced the
+    report — ["product"] or ["srwalk"]; the race winner under
     [--engine race]), and engine stages in ["metrics"] are namespaced
     (["product.search"], ["srwalk.search"], ["product.nonunifying"], ...).
     Version 4 added ["failure"] and ["validation"], and split ["skipped"]
@@ -88,6 +92,26 @@ val batch_to_json :
 (** The full service response: [stats] plus one report object per grammar.
     [lint], when given, must align with the result list; [Some diags]
     entries embed a ["diagnostics"] array in that grammar's object. *)
+
+(** {1 Streaming NDJSON records} ([lrcex batch --stream])
+
+    One self-describing object per output line, distinguished by the
+    leading ["record"] key: a ["grammar"] record per completed grammar the
+    moment its window finishes, then exactly one final ["summary"] record. *)
+
+val stream_grammar_to_json :
+  ?diagnostics:Cex_lint.Diagnostic.t list -> Scheduler.batch_result -> Json.t
+(** The {!batch_to_json} per-grammar object plus [("record", "grammar")]. *)
+
+val totals_to_json : Scheduler.totals -> Json.t
+
+val stream_summary_to_json :
+  ?shard:int * int -> totals:Scheduler.totals -> Stats.summary -> Json.t
+(** The final record: [{ "record": "summary", "schema_version", "shard":
+    null | {"index","count"}, "totals": {...}, "stats": {...} }]. The
+    ["totals"] object is the deterministic additive slice a shard merge
+    sums; ["stats"] matches the non-streamed document's ["stats"] key
+    byte-for-byte (after float zeroing). *)
 
 val lint_to_json :
   (string * Automaton.Parse_table.t * Cex_lint.Lint.report) list -> Json.t

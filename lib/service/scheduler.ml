@@ -96,70 +96,102 @@ type batch_result = {
   from_cache : bool;
 }
 
-(* Phase-1 classification of a batch entry. *)
+(* ------------------------------------------------------------------ *)
+(* Deterministic sharding: a grammar belongs to shard
+   [int(first 8 hex digits of its digest) mod n]. The digest is stable
+   across processes and OCaml versions (unlike [Hashtbl.hash]), so any two
+   runs over the same corpus partition it identically — `--shard 0/2` and
+   `--shard 1/2` in separate processes are disjoint and covering. *)
+
+let shard_of ~digest ~shards =
+  if shards <= 1 then 0
+  else
+    let prefix = String.sub digest 0 (min 8 (String.length digest)) in
+    int_of_string ("0x" ^ prefix) mod shards
+
+(* ------------------------------------------------------------------ *)
+(* The windowed batch pipeline.
+
+   Grammars stream through a bounded in-flight window: each window of [w]
+   entries is prepared sequentially (digest, report-cache lookup, session
+   build through the sharded cache), its conflicts fan out in one pool run,
+   and its reports are assembled, emitted, and released before the next
+   window starts. Nothing outside the window and the two LRU caches pins a
+   session or a report, so peak memory is a function of the window size and
+   the cache capacity — never of the batch length. Per-grammar outcomes are
+   independent of the window size (each grammar meters its own cumulative
+   budget and conflicts keep their session order), so reports are
+   byte-identical at any window. *)
+
+let default_window = 32
+
+(* Phase-1 classification of a window entry. *)
 type fresh = {
   session : Session.t;
   deadline : Deadline.t;
   table_seconds : float;
   conflicts : Automaton.Conflict.t array;
-  first_job : int;  (* offset into the flattened conflict-job array *)
+  first_job : int;  (* offset into the window's flattened conflict jobs *)
 }
 
 type prepared =
   | Cached of Cex.Driver.report
   | Fresh of fresh
-  | Duplicate of int  (* index of the identical fresh entry in this batch *)
+  | Duplicate of int  (* slot of the identical fresh entry in this window *)
 
-let analyze_batch t entries =
-  let stats = Stats.create ~clock:t.clock ~jobs:t.jobs () in
+let process_window t ~stats ~emit entries =
   Stats.add_grammars stats (List.length entries);
-  (* Phase 1 (sequential): digest, report-cache lookup, session build. *)
+  (* Phase 1 (sequential): digest, report-cache lookup, session build.
+     [seen_fresh] maps a digest to its window slot, so an intra-window
+     duplicate is an O(1) array lookup later — never a list traversal. *)
   let seen_fresh : (string, int) Hashtbl.t = Hashtbl.create 16 in
   let next_job = ref 0 in
   let prepared =
-    List.mapi
-      (fun i (name, g) ->
-        let digest = Cache.digest g in
-        let prep =
-          match Cache.find t.reports digest with
-          | Some report -> Cached report
-          | None -> (
-            match Hashtbl.find_opt seen_fresh digest with
-            | Some j -> Duplicate j
-            | None ->
-              let t0 = Clock.now t.clock in
-              let session =
-                match Cache.Sharded.find t.sessions digest with
-                | Some s ->
-                  Trace.count (Session.trace s) "session" "cache_hits" 1;
-                  s
-                | None ->
-                  let s = Session.create ~clock:t.clock g in
-                  Cache.Sharded.set t.sessions digest s;
-                  s
-              in
-              let table_seconds = Clock.now t.clock -. t0 in
-              Stats.add_stage stats "table_build" table_seconds;
-              let conflicts = Array.of_list (Session.conflicts session) in
-              Stats.add_conflicts stats (Array.length conflicts);
-              Hashtbl.add seen_fresh digest i;
-              let first_job = !next_job in
-              next_job := !next_job + Array.length conflicts;
-              Fresh
-                { session;
-                  deadline =
-                    Deadline.budget t.clock
-                      t.options.Cex.Driver.cumulative_timeout;
-                  table_seconds;
-                  conflicts;
-                  first_job })
-        in
-        (name, digest, prep))
-      entries
+    Array.of_list
+      (List.mapi
+         (fun slot (name, g, digest) ->
+           let prep =
+             match Cache.find t.reports digest with
+             | Some report -> Cached report
+             | None -> (
+               match Hashtbl.find_opt seen_fresh digest with
+               | Some j -> Duplicate j
+               | None ->
+                 let t0 = Clock.now t.clock in
+                 let session =
+                   match Cache.Sharded.find t.sessions digest with
+                   | Some s ->
+                     Trace.count (Session.trace s) "session" "cache_hits" 1;
+                     s
+                   | None ->
+                     let s = Session.create ~clock:t.clock g in
+                     Cache.Sharded.set t.sessions digest s;
+                     s
+                 in
+                 let table_seconds = Clock.now t.clock -. t0 in
+                 Stats.add_stage stats "table_build" table_seconds;
+                 let conflicts = Array.of_list (Session.conflicts session) in
+                 Stats.add_conflicts stats (Array.length conflicts);
+                 Hashtbl.add seen_fresh digest slot;
+                 let first_job = !next_job in
+                 next_job := !next_job + Array.length conflicts;
+                 Fresh
+                   { session;
+                     deadline =
+                       Deadline.budget t.clock
+                         t.options.Cex.Driver.cumulative_timeout;
+                     table_seconds;
+                     conflicts;
+                     first_job })
+           in
+           (name, digest, prep))
+         entries)
   in
-  (* Phase 2: one conflict-level fan-out across every fresh grammar. *)
+  Stats.note_live_sessions stats (Hashtbl.length seen_fresh);
+  (* Phase 2: one conflict-level fan-out across the window's fresh
+     grammars. *)
   let job_table = Array.make !next_job None in
-  List.iter
+  Array.iter
     (fun (_, _, prep) ->
       match prep with
       | Fresh f ->
@@ -176,8 +208,9 @@ let analyze_batch t entries =
           conflict)
   in
   Stats.add_stage stats "conflict_search" (search_seconds crs);
-  (* Phase 3 (sequential): reassemble reports in input order and fill the
-     report cache. *)
+  (* Phase 3 (sequential): assemble each fresh report exactly once, fill
+     the report cache, and emit in input order. Duplicates reuse the
+     already-assembled (physically shared) report of their fresh twin. *)
   let finish_fresh f =
     let conflict_reports =
       Array.to_list
@@ -193,32 +226,131 @@ let analyze_batch t entries =
              0.0 conflict_reports;
       metrics = Session.metrics f.session }
   in
-  let results =
-    List.map
-      (fun (name, digest, prep) ->
+  let finished =
+    Array.map
+      (fun (_, digest, prep) ->
         match prep with
-        | Cached report -> { name; digest; report; from_cache = true }
         | Fresh f ->
           let report = finish_fresh f in
           Cache.set t.reports digest report;
-          { name; digest; report; from_cache = false }
-        | Duplicate j ->
-          let _, _, prep_j = List.nth prepared j in
-          let report =
-            match prep_j with
-            | Fresh f -> finish_fresh f
-            | Cached _ | Duplicate _ -> assert false
-          in
-          { name; digest; report; from_cache = true })
+          Some report
+        | Cached _ | Duplicate _ -> None)
       prepared
   in
-  ( results,
-    Stats.finish stats
-      ~session_cache:(session_cache_counters t)
-      ~session_shards:(session_shard_counters t)
-      ~report_cache:(Cache.counters t.reports) )
+  Array.iteri
+    (fun slot (name, digest, prep) ->
+      let result =
+        match prep with
+        | Cached report -> { name; digest; report; from_cache = true }
+        | Fresh _ ->
+          { name; digest; report = Option.get finished.(slot);
+            from_cache = false }
+        | Duplicate j ->
+          { name; digest; report = Option.get finished.(j);
+            from_cache = true }
+      in
+      emit result)
+    prepared
+
+let analyze_batch_emit ?(window = default_window) ?shard t ~emit entries =
+  let window = max 1 window in
+  (match shard with
+  | Some (i, n) when n < 1 || i < 0 || i >= n ->
+    invalid_arg
+      (Fmt.str "Scheduler.analyze_batch_emit: invalid shard %d/%d" i n)
+  | _ -> ());
+  let stats = Stats.create ~clock:t.clock ~jobs:t.jobs () in
+  let in_shard digest =
+    match shard with
+    | None -> true
+    | Some (i, n) -> shard_of ~digest ~shards:n = i
+  in
+  (* Pull the next window of in-shard entries; grammars outside the shard
+     are skipped without building anything. *)
+  let rec fill acc k seq =
+    if k = 0 then (List.rev acc, seq)
+    else
+      match Seq.uncons seq with
+      | None -> (List.rev acc, Seq.empty)
+      | Some ((name, g), rest) ->
+        let digest = Cache.digest g in
+        if in_shard digest then fill ((name, g, digest) :: acc) (k - 1) rest
+        else fill acc k rest
+  in
+  let rec loop seq =
+    match fill [] window seq with
+    | [], _ -> ()
+    | batch, rest ->
+      process_window t ~stats ~emit batch;
+      loop rest
+  in
+  loop entries;
+  Stats.finish stats
+    ~session_cache:(session_cache_counters t)
+    ~session_shards:(session_shard_counters t)
+    ~report_cache:(Cache.counters t.reports)
+
+let analyze_batch ?window ?shard t entries =
+  let acc = ref [] in
+  let stats =
+    analyze_batch_emit ?window ?shard t
+      ~emit:(fun r -> acc := r :: !acc)
+      (List.to_seq entries)
+  in
+  (List.rev !acc, stats)
 
 let analyze t ?(name = "grammar") g =
   match analyze_batch t [ (name, g) ] with
   | [ r ], stats -> (r, stats)
   | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Mergeable outcome totals: the deterministic, additive slice of a batch
+   run. Per-shard summaries carry these so `tools/merge_shards.exe` can
+   check that sharded runs add up to the unsharded run exactly. *)
+
+type totals = {
+  total_grammars : int;
+  total_conflicts : int;
+  total_unifying : int;
+  total_nonunifying : int;
+  total_timeouts : int;
+  total_skipped : int;
+  total_crashed : int;
+  total_invalid : int;
+  total_from_cache : int;
+}
+
+let zero_totals =
+  { total_grammars = 0;
+    total_conflicts = 0;
+    total_unifying = 0;
+    total_nonunifying = 0;
+    total_timeouts = 0;
+    total_skipped = 0;
+    total_crashed = 0;
+    total_invalid = 0;
+    total_from_cache = 0 }
+
+let add_totals acc (r : batch_result) =
+  let report = r.report in
+  let invalid =
+    List.fold_left
+      (fun n (cr : Cex.Driver.conflict_report) ->
+        match cr.Cex.Driver.validation with
+        | Cex.Driver.Validation_failed _ -> n + 1
+        | Cex.Driver.Validated | Cex.Driver.Not_validated -> n)
+      0 report.Cex.Driver.conflict_reports
+  in
+  { total_grammars = acc.total_grammars + 1;
+    total_conflicts =
+      acc.total_conflicts + List.length report.Cex.Driver.conflict_reports;
+    total_unifying = acc.total_unifying + Cex.Driver.n_unifying report;
+    total_nonunifying =
+      acc.total_nonunifying + Cex.Driver.n_nonunifying report;
+    total_timeouts = acc.total_timeouts + Cex.Driver.n_timeout report;
+    total_skipped = acc.total_skipped + Cex.Driver.n_skipped report;
+    total_crashed = acc.total_crashed + Cex.Driver.n_crashed report;
+    total_invalid = acc.total_invalid + invalid;
+    total_from_cache =
+      acc.total_from_cache + if r.from_cache then 1 else 0 }

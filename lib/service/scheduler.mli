@@ -99,22 +99,80 @@ type batch_result = {
   report : Cex.Driver.report;
   from_cache : bool;
       (** the report was served from the report cache (or shares the
-          analysis of an identical grammar earlier in the same batch) *)
+          analysis of an identical grammar earlier in the same window) *)
 }
 
+val default_window : int
+(** Default in-flight window of {!analyze_batch_emit} (32). *)
+
+val shard_of : digest:string -> shards:int -> int
+(** Deterministic shard assignment: the integer value of the digest's
+    first 8 hex digits modulo [shards]. Stable across processes, OCaml
+    versions and machines, so independent runs partition a corpus into
+    disjoint, covering shards. [shards <= 1] always yields shard 0. *)
+
+val analyze_batch_emit :
+  ?window:int ->
+  ?shard:int * int ->
+  t ->
+  emit:(batch_result -> unit) ->
+  (string * Cfg.Grammar.t) Seq.t ->
+  Stats.summary
+(** The streaming batch pipeline. Grammars are pulled lazily from the
+    sequence in windows of [window] (default {!default_window}, clamped to
+    ≥ 1): each window is prepared sequentially (digest, report-cache
+    lookup, session build through the sharded cache), its conflicts fan
+    out in one pool run, and its reports are assembled and handed to
+    [emit] in input order — then released, so nothing outside the current
+    window and the LRU caches pins a session or a report. Peak memory is a
+    function of the window size and the cache capacity, never of the batch
+    length; the observed window occupancy is
+    {!Stats.summary.max_live_sessions}.
+
+    Each grammar meters its own cumulative budget and its conflicts keep
+    their session order, so per-grammar reports are byte-identical at any
+    window size. An intra-window duplicate digest shares the (physically
+    equal) report of its fresh twin in O(1); a cross-window duplicate is
+    served from the report cache.
+
+    [shard = (i, n)] analyzes only the grammars with
+    [shard_of ~digest ~shards:n = i]; the others are skipped before any
+    session is built and appear in no stats. A worker exception while
+    searching one conflict degrades to a {!Cex.Driver.Search_crashed}
+    report for that conflict alone — the rest of the batch completes. *)
+
 val analyze_batch :
-  t -> (string * Cfg.Grammar.t) list -> batch_result list * Stats.summary
-(** Analyze many grammars in one run: sequential digest / cache-lookup /
-    session-build phase, then one global conflict-level fan-out across all
-    uncached grammars, each grammar metering its own cumulative budget.
-    A worker exception while searching one conflict degrades to a
-    {!Cex.Driver.Search_crashed} report for that conflict alone — the rest
-    of the batch completes and keeps its results.
-    Results are in input order; each fresh report carries its session's
-    per-stage trace {!Cex.Driver.report.metrics} (cumulative for sessions
-    reused from the cache, which also count a ["session"] [cache_hits]
-    counter). *)
+  ?window:int ->
+  ?shard:int * int ->
+  t ->
+  (string * Cfg.Grammar.t) list ->
+  batch_result list * Stats.summary
+(** {!analyze_batch_emit} over a list, collecting the results in input
+    order. Each fresh report carries its session's per-stage trace
+    {!Cex.Driver.report.metrics} (cumulative for sessions reused from the
+    cache, which also count a ["session"] [cache_hits] counter). *)
 
 val analyze :
   t -> ?name:string -> Cfg.Grammar.t -> batch_result * Stats.summary
 (** [analyze_batch] on a single grammar. *)
+
+(** {1 Mergeable totals}
+
+    The deterministic, additive slice of a batch run: summed outcome
+    counts that per-shard summary records carry so separate shard
+    processes can be merged and checked against an unsharded run. *)
+
+type totals = {
+  total_grammars : int;
+  total_conflicts : int;
+  total_unifying : int;
+  total_nonunifying : int;
+  total_timeouts : int;
+  total_skipped : int;
+  total_crashed : int;
+  total_invalid : int;  (** counterexamples rejected by the oracle *)
+  total_from_cache : int;
+}
+
+val zero_totals : totals
+val add_totals : totals -> batch_result -> totals

@@ -5,6 +5,7 @@ type summary = {
   conflict_tasks : int;
   wall_seconds : float;
   max_queue_depth : int;
+  max_live_sessions : int;
   stages : (string * float) list;
   session_cache : Cache.counters option;
   session_shards : Cache.counters list;
@@ -20,6 +21,7 @@ type t = {
   mutable conflicts : int;
   mutable conflict_tasks : int;
   mutable max_queue_depth : int;
+  mutable max_live_sessions : int;
   stages : (string, float ref) Hashtbl.t;
 }
 
@@ -32,6 +34,7 @@ let create ?(clock = Cex_session.Clock.system) ~jobs () =
     conflicts = 0;
     conflict_tasks = 0;
     max_queue_depth = 0;
+    max_live_sessions = 0;
     stages = Hashtbl.create 8 }
 
 let with_lock t f =
@@ -54,6 +57,10 @@ let note_queue_depth t depth =
   with_lock t (fun () ->
       if depth > t.max_queue_depth then t.max_queue_depth <- depth)
 
+let note_live_sessions t n =
+  with_lock t (fun () ->
+      if n > t.max_live_sessions then t.max_live_sessions <- n)
+
 let finish ?session_cache ?(session_shards = []) ?report_cache t =
   with_lock t (fun () ->
       { jobs = t.jobs;
@@ -62,6 +69,7 @@ let finish ?session_cache ?(session_shards = []) ?report_cache t =
         conflict_tasks = t.conflict_tasks;
         wall_seconds = Cex_session.Clock.now t.clock -. t.started;
         max_queue_depth = t.max_queue_depth;
+        max_live_sessions = t.max_live_sessions;
         stages =
           Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.stages []
           |> List.sort (fun (a, _) (b, _) -> String.compare a b);
@@ -72,9 +80,9 @@ let finish ?session_cache ?(session_shards = []) ?report_cache t =
 let pp_summary ppf (s : summary) =
   Fmt.pf ppf
     "@[<v>jobs: %d; grammars: %d; conflicts: %d; conflict tasks: %d; wall: \
-     %.3fs; max queue depth: %d"
+     %.3fs; max queue depth: %d; max live sessions: %d"
     s.jobs s.grammars s.conflicts s.conflict_tasks s.wall_seconds
-    s.max_queue_depth;
+    s.max_queue_depth s.max_live_sessions;
   List.iter
     (fun (name, secs) -> Fmt.pf ppf "@,stage %-16s %.3fs" name secs)
     s.stages;

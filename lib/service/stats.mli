@@ -16,6 +16,10 @@ type summary = {
           freshly analyzed grammar; cached reports dispatch none) *)
   wall_seconds : float;  (** creation to {!finish} *)
   max_queue_depth : int;  (** largest pending-job backlog observed *)
+  max_live_sessions : int;
+      (** largest number of fresh sessions simultaneously pinned by the
+          batch pipeline (outside the session cache) — bounded by the
+          streaming window, never by the batch length *)
   stages : (string * float) list;
       (** cumulative seconds per pipeline stage, sorted by stage name
           (e.g. ["table_build"], ["conflict_search"]) *)
@@ -39,6 +43,10 @@ val add_conflict_tasks : t -> int -> unit
 
 val note_queue_depth : t -> int -> unit
 (** Record an observed backlog; the summary keeps the maximum. *)
+
+val note_live_sessions : t -> int -> unit
+(** Record the number of sessions currently pinned by the pipeline; the
+    summary keeps the maximum. *)
 
 val finish :
   ?session_cache:Cache.counters ->

@@ -11,6 +11,11 @@ type t = {
   clock : Clock.t;
   collector : Trace.collector;
   sink : Trace.sink;
+  derives_memo : (Symbol.t * Symbol.t list, bool) Hashtbl.t;
+      (** conflicts in one state share prefixes and continuations, so a
+          batch-sized report replays the same sentential forms over and
+          over; one chart per distinct form, not per conflict *)
+  ambiguous_memo : (Symbol.t * Symbol.t list, bool) Hashtbl.t;
 }
 
 let create ?(clock = Clock.system) table =
@@ -20,7 +25,27 @@ let create ?(clock = Clock.system) table =
     earley = Earley.make (Parse_table.grammar table);
     clock;
     collector;
-    sink = Trace.collector_sink collector }
+    sink = Trace.collector_sink collector;
+    derives_memo = Hashtbl.create 64;
+    ambiguous_memo = Hashtbl.create 16 }
+
+let memoized table f key =
+  match Hashtbl.find_opt table key with
+  | Some v -> v
+  | None ->
+    let v = f () in
+    Hashtbl.add table key v;
+    v
+
+let derives t ~start form =
+  memoized t.derives_memo
+    (fun () -> Earley.derives t.earley ~start form)
+    (start, form)
+
+let ambiguous_from t ~start form =
+  memoized t.ambiguous_memo
+    (fun () -> Earley.ambiguous_from t.earley ~start form)
+    (start, form)
 
 let of_session session =
   create ~clock:(Session.clock session) (Session.table session)
@@ -67,7 +92,7 @@ let check_unifying t (u : Cex.Product_search.unifying) =
           (* Independent confirmation by the Earley-style chart counter:
              the form must admit >= 2 rooted derivations from the unifying
              nonterminal, whatever the two exhibited trees look like. *)
-          Earley.ambiguous_from t.earley ~start:root form ) ]
+          ambiguous_from t ~start:root form ) ]
 
 (* ------------------------------------------------------------------ *)
 (* Nonunifying counterexamples (paper section 4): two derivable sentential
@@ -119,9 +144,9 @@ let check_nonunifying t (nu : Cex.Nonunifying.t) =
           | [] -> conflict.Conflict.terminal = 0
           | Symbol.Nonterminal _ :: _ -> false );
       ( "reduce-form-not-derivable",
-        fun () -> Earley.derives t.earley ~start:start_symbol reduce_form );
+        fun () -> derives t ~start:start_symbol reduce_form );
       ( "other-form-not-derivable",
-        fun () -> Earley.derives t.earley ~start:start_symbol other_form ) ]
+        fun () -> derives t ~start:start_symbol other_form ) ]
   @ deriv_ok "deriv1" nu.Cex.Nonunifying.deriv1 reduce_form
   @ deriv_ok "deriv2" nu.Cex.Nonunifying.deriv2 other_form
 

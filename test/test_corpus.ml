@@ -165,9 +165,41 @@ let test_c4_times_out () =
   ignore g;
   Alcotest.(check bool) "times out" true (Cex.Driver.n_timeout report > 0)
 
+(* The stress tier is a pure function of the index: regeneration is
+   byte-identical (the whole point of never committing the grammars), the
+   bands cycle round-robin, and the ambiguous band really carries
+   conflicts. *)
+let test_stress_deterministic () =
+  let digests n =
+    List.map
+      (fun (_, g) -> Cex_service.Cache.digest g)
+      (List.of_seq (Corpus.Stress.seq n))
+  in
+  Alcotest.(check (list string))
+    "two generations are byte-identical" (digests 24) (digests 24);
+  List.iter
+    (fun i ->
+      let name, _ = Corpus.Stress.entry i in
+      Alcotest.(check string) "name embeds band and index"
+        (Printf.sprintf "stress-%s-%d" (Corpus.Stress.band_of i).Corpus.Stress.band_name i)
+        name;
+      (* the source renders back to the same grammar *)
+      let g = Cfg.Spec_parser.grammar_of_string_exn (Corpus.Stress.source i) in
+      Alcotest.(check string) "source round-trips to the same digest"
+        (Cex_service.Cache.digest (snd (Corpus.Stress.entry i)))
+        (Cex_service.Cache.digest g))
+    [ 0; 1; 2; 3; 17 ];
+  (* band 3 ("ambiguous") forces the binary-operator core *)
+  let _, g = Corpus.Stress.entry 3 in
+  let table = Cex_session.Session.table (Cex_session.Session.create g) in
+  Alcotest.(check bool) "ambiguous band has conflicts" true
+    (Automaton.Parse_table.conflicts table <> [])
+
 let suite =
   ( "corpus",
     [ Alcotest.test_case "all entries parse" `Quick test_all_parse;
+      Alcotest.test_case "stress tier deterministic" `Quick
+        test_stress_deterministic;
       Alcotest.test_case "bases conflict-free" `Quick test_bases_conflict_free;
       Alcotest.test_case "every entry has conflicts" `Quick
         test_every_entry_has_conflicts;

@@ -17,14 +17,13 @@ expr : ID ;
 (* Cache. *)
 
 let check_counters label (expected : Cex_service.Cache.counters) actual =
-  Alcotest.(check (triple int int int))
-    label
-    ( expected.Cex_service.Cache.hits,
-      expected.Cex_service.Cache.misses,
-      expected.Cex_service.Cache.evictions )
-    ( actual.Cex_service.Cache.hits,
-      actual.Cex_service.Cache.misses,
-      actual.Cex_service.Cache.evictions )
+  let quad (c : Cex_service.Cache.counters) =
+    [ c.Cex_service.Cache.hits;
+      c.Cex_service.Cache.misses;
+      c.Cex_service.Cache.evictions;
+      c.Cex_service.Cache.races ]
+  in
+  Alcotest.(check (list int)) label (quad expected) (quad actual)
 
 let test_cache_counters () =
   let open Cex_service in
@@ -43,7 +42,7 @@ let test_cache_counters () =
   Alcotest.(check (option int)) "survivor intact" (Some 2) (Cache.find c "b");
   Alcotest.(check int) "length at capacity" 2 (Cache.length c);
   check_counters "hit/miss/eviction counters"
-    { Cex_service.Cache.hits = 2; misses = 5; evictions = 1 }
+    { Cex_service.Cache.hits = 2; misses = 5; evictions = 1; races = 0 }
     (Cache.counters c)
 
 let test_cache_digest () =
@@ -81,7 +80,7 @@ let test_cache_hit_on_reanalysis () =
   Alcotest.(check bool) "same report value" true
     (r1.Scheduler.report == r2.Scheduler.report);
   check_counters "session cache: one build, no rebuild"
-    { Cache.hits = 0; misses = 1; evictions = 0 }
+    { Cache.hits = 0; misses = 1; evictions = 0; races = 0 }
     (Scheduler.session_cache_counters service)
 
 (* ------------------------------------------------------------------ *)
@@ -227,7 +226,7 @@ let test_json_parser () =
 
 let golden =
   {|{
-  "schema_version": 5,
+  "schema_version": 6,
   "stats": {
     "jobs": 1,
     "grammars": 1,
@@ -235,6 +234,7 @@ let golden =
     "conflict_tasks": 1,
     "wall_seconds": 0.0,
     "max_queue_depth": 1,
+    "max_live_sessions": 1,
     "stages": {
       "conflict_search": 0.0,
       "table_build": 0.0
@@ -243,19 +243,22 @@ let golden =
       "sessions": {
         "hits": 0,
         "misses": 1,
-        "evictions": 0
+        "evictions": 0,
+        "races": 0
       },
       "session_shards": [
         {
           "hits": 0,
           "misses": 1,
-          "evictions": 0
+          "evictions": 0,
+          "races": 0
         }
       ],
       "reports": {
         "hits": 0,
         "misses": 1,
-        "evictions": 0
+        "evictions": 0,
+        "races": 0
       }
     }
   },
@@ -360,6 +363,206 @@ let test_json_golden () =
   in
   Alcotest.(check string) "golden JSON report" golden json
 
+(* ------------------------------------------------------------------ *)
+(* The windowed streaming pipeline (PR: bounded-memory batch). *)
+
+(* Filling a cache to exactly its capacity must evict nothing; the next
+   insert evicts exactly the least recently used entry. *)
+let test_lru_exact_capacity () =
+  let open Cex_service in
+  let c : int Cache.t = Cache.create ~capacity:3 () in
+  List.iter (fun k -> Cache.set c k (Char.code k.[0])) [ "a"; "b"; "c" ];
+  check_counters "full to the brim, no eviction"
+    { Cache.hits = 0; misses = 0; evictions = 0; races = 0 }
+    (Cache.counters c);
+  Alcotest.(check int) "length equals capacity" 3 (Cache.length c);
+  (* Touch "a": "b" becomes the LRU victim of the overflow insert. *)
+  Alcotest.(check (option int)) "refresh a" (Some 97) (Cache.find c "a");
+  Cache.set c "d" 100;
+  Alcotest.(check (option int)) "victim is the LRU" None (Cache.find c "b");
+  Alcotest.(check (option int)) "refreshed entry survives" (Some 97)
+    (Cache.find c "a");
+  Alcotest.(check int) "still at capacity" 3 (Cache.length c);
+  Alcotest.(check int) "exactly one eviction" 1 (Cache.counters c).Cache.evictions
+
+(* Sharded counters aggregate per shard and sum to the totals the
+   scheduler reports. *)
+let test_sharded_counter_aggregation () =
+  let open Cex_service in
+  let c : int Cache.Sharded.t = Cache.Sharded.create ~shards:4 ~capacity:16 () in
+  let keys = List.init 12 (fun i -> Printf.sprintf "key-%d" i) in
+  List.iter (fun k -> ignore (Cache.Sharded.find_or_build c k (fun () -> 0))) keys;
+  List.iter (fun k -> ignore (Cache.Sharded.find c k)) keys;
+  ignore (Cache.Sharded.find c "absent");
+  let per_shard = Cache.Sharded.counters c in
+  Alcotest.(check int) "one counters record per shard" 4 (List.length per_shard);
+  check_counters "shard totals add up"
+    { Cache.hits = 12; misses = 13; evictions = 0; races = 0 }
+    (Cache.sum_counters per_shard);
+  Alcotest.(check int) "every build landed in some shard" 12
+    (Cache.Sharded.length c)
+
+(* find_or_build runs the builder outside the shard lock: a builder that
+   re-enters the same cache must not deadlock, and a concurrent insert of
+   the same key during the build is detected as a race (the first value
+   wins, the losing build is discarded). *)
+let test_build_outside_lock () =
+  let open Cex_service in
+  let c : int Cache.t = Cache.create ~capacity:8 () in
+  let v =
+    Cache.find_or_build c "k" (fun () ->
+        (* would deadlock if the lock were held across the build *)
+        Cache.set c "other" 7;
+        (* another domain completes the same build first *)
+        Cache.set c "k" 1;
+        2)
+  in
+  Alcotest.(check int) "first insert wins" 1 v;
+  Alcotest.(check (option int)) "cache keeps the winner" (Some 1)
+    (Cache.find c "k");
+  Alcotest.(check (option int)) "re-entrant insert landed" (Some 7)
+    (Cache.find c "other");
+  Alcotest.(check int) "duplicate build counted as a race" 1
+    (Cache.counters c).Cache.races
+
+(* shard_of: deterministic, in range, and the shards partition any corpus
+   (disjoint by construction — it is a function — and covering). *)
+let test_shard_partition () =
+  let open Cex_service in
+  let digests =
+    List.init 64 (fun i ->
+        Cache.digest (snd (Corpus.Stress.entry i)))
+  in
+  let n = 4 in
+  let assignment = List.map (fun d -> Scheduler.shard_of ~digest:d ~shards:n) digests in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "shard in range" true (s >= 0 && s < n))
+    assignment;
+  Alcotest.(check (list int)) "assignment is deterministic" assignment
+    (List.map (fun d -> Scheduler.shard_of ~digest:d ~shards:n) digests);
+  let population = List.init n (fun s ->
+      List.length (List.filter (fun s' -> s' = s) assignment)) in
+  Alcotest.(check int) "shards cover the corpus" (List.length digests)
+    (List.fold_left ( + ) 0 population);
+  Alcotest.(check bool) "no shard is empty over 64 grammars" true
+    (List.for_all (fun p -> p > 0) population);
+  List.iter
+    (fun d ->
+      Alcotest.(check int) "one shard degenerates to 0" 0
+        (Scheduler.shard_of ~digest:d ~shards:1))
+    digests
+
+let stress_entries n = List.of_seq (Corpus.Stress.seq n)
+
+(* Deterministic budgets: effectively-infinite wall clocks plus a config
+   budget, so outcomes and counters are independent of machine speed (the
+   fuzzer's recipe) — a precondition for the byte-identical window
+   comparisons below. *)
+let fast_options =
+  { Cex.Driver.default_options with
+    Cex.Driver.per_conflict_timeout = 3600.0;
+    cumulative_timeout = 3600.0;
+    max_configs = 2_000 }
+
+(* The pipeline must release sessions as windows retire: the peak number of
+   live (window-pinned) sessions is bounded by the window size however long
+   the batch is. *)
+let test_max_live_sessions_bounded () =
+  let open Cex_service in
+  let entries = stress_entries 12 in
+  let service =
+    Scheduler.create ~options:fast_options ~jobs:2 ~cache_capacity:4 ()
+  in
+  let _, stats = Scheduler.analyze_batch ~window:3 service entries in
+  Alcotest.(check bool)
+    (Printf.sprintf "peak live sessions %d bounded by window 3"
+       stats.Stats.max_live_sessions)
+    true
+    (stats.Stats.max_live_sessions <= 3 && stats.Stats.max_live_sessions > 0)
+
+let normalized_results results =
+  Cex_service.Json.to_string
+    (Cex_service.Json.map_floats
+       (fun _ -> 0.0)
+       (Cex_service.Json_report.batch_to_json results))
+
+(* Streaming emission and windowing are invisible in the reports: any
+   window size, streamed or collected, yields byte-identical grammar
+   records in input order. *)
+let test_stream_equals_batch () =
+  let open Cex_service in
+  let entries = stress_entries 10 in
+  let collected w =
+    let service = Scheduler.create ~options:fast_options ~jobs:2 () in
+    let results, _ = Scheduler.analyze_batch ~window:w service entries in
+    normalized_results results
+  in
+  let streamed w =
+    let service = Scheduler.create ~options:fast_options ~jobs:2 () in
+    let acc = ref [] in
+    let _ =
+      Scheduler.analyze_batch_emit ~window:w service
+        ~emit:(fun r -> acc := r :: !acc)
+        (List.to_seq entries)
+    in
+    normalized_results (List.rev !acc)
+  in
+  let reference = collected 32 in
+  Alcotest.(check string) "window 1 = window 32" (collected 1) reference;
+  Alcotest.(check string) "window 3 = window 32" (collected 3) reference;
+  Alcotest.(check string) "streamed = collected" (streamed 4) reference
+
+(* An intra-window duplicate digest shares its twin's report physically
+   (no re-assembly, no second analysis). *)
+let test_duplicate_shares_report () =
+  let open Cex_service in
+  let g = Spec_parser.grammar_of_string_exn dangling_else in
+  let service = Scheduler.create ~jobs:1 () in
+  match Scheduler.analyze_batch service [ ("one", g); ("two", g); ("three", g) ] with
+  | [ r1; r2; r3 ], _ ->
+    Alcotest.(check bool) "first is fresh" false r1.Scheduler.from_cache;
+    Alcotest.(check bool) "twin served from the window" true
+      r2.Scheduler.from_cache;
+    Alcotest.(check bool) "reports physically shared (no re-assembly)" true
+      (r1.Scheduler.report == r2.Scheduler.report
+      && r1.Scheduler.report == r3.Scheduler.report);
+    (* duplicates are recognised before the session cache is consulted:
+       one build, no second lookup *)
+    check_counters "single session build"
+      { Cache.hits = 0; misses = 1; evictions = 0; races = 0 }
+      (Scheduler.session_cache_counters service)
+  | _ -> Alcotest.fail "expected three results"
+
+(* Sharded runs partition the batch: together they analyze every grammar
+   exactly once and their mergeable totals sum to the unsharded run's. *)
+let test_shard_runs_partition () =
+  let open Cex_service in
+  let entries = stress_entries 12 in
+  let run shard =
+    let service = Scheduler.create ~options:fast_options ~jobs:2 () in
+    fst (Scheduler.analyze_batch ?shard service entries)
+  in
+  let full = run None in
+  let s0 = run (Some (0, 2)) and s1 = run (Some (1, 2)) in
+  Alcotest.(check int) "shards cover the batch"
+    (List.length full)
+    (List.length s0 + List.length s1);
+  let names rs = List.map (fun r -> r.Scheduler.name) rs in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) "disjoint" false
+        (List.mem n (names s0) && List.mem n (names s1)))
+    (names full);
+  let totals rs =
+    let t = List.fold_left Scheduler.add_totals Scheduler.zero_totals rs in
+    [ t.Scheduler.total_grammars; t.Scheduler.total_conflicts;
+      t.Scheduler.total_unifying; t.Scheduler.total_nonunifying ]
+  in
+  Alcotest.(check (list int)) "merged totals equal the unsharded run"
+    (totals full)
+    (List.map2 ( + ) (totals s0) (totals s1))
+
 let suite =
   ( "service",
     [ Alcotest.test_case "cache-counters" `Quick test_cache_counters;
@@ -375,4 +578,16 @@ let suite =
         test_map_order_and_errors;
       Alcotest.test_case "json-emitter" `Quick test_json_emitter;
       Alcotest.test_case "json-parser" `Quick test_json_parser;
-      Alcotest.test_case "json-golden" `Quick test_json_golden ] )
+      Alcotest.test_case "json-golden" `Quick test_json_golden;
+      Alcotest.test_case "lru-exact-capacity" `Quick test_lru_exact_capacity;
+      Alcotest.test_case "sharded-counter-aggregation" `Quick
+        test_sharded_counter_aggregation;
+      Alcotest.test_case "build-outside-lock" `Quick test_build_outside_lock;
+      Alcotest.test_case "shard-partition" `Quick test_shard_partition;
+      Alcotest.test_case "max-live-sessions-bounded" `Quick
+        test_max_live_sessions_bounded;
+      Alcotest.test_case "stream-equals-batch" `Quick test_stream_equals_batch;
+      Alcotest.test_case "duplicate-shares-report" `Quick
+        test_duplicate_shares_report;
+      Alcotest.test_case "shard-runs-partition" `Quick
+        test_shard_runs_partition ] )
